@@ -1,0 +1,108 @@
+"""Shared builders for the benchmark harness.
+
+Each ``bench_*.py`` module reproduces one figure or claim of the paper
+(see DESIGN.md §3 and EXPERIMENTS.md).  The interesting measurements are
+*simulated* quantities (message counts, simulated latency, forced
+writes); pytest-benchmark wraps each experiment so the harness also
+reports the wall-clock cost of running it.
+"""
+
+import random
+
+from repro.apps.banking import (
+    check_consistency,
+    debit_credit_program,
+    install_banking,
+    populate_banking,
+)
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+from repro.encompass import SystemBuilder
+from repro.workloads import run_closed_loop
+
+
+def build_banking_system(
+    seed=7,
+    cpus=4,
+    volumes=1,
+    accounts=24,
+    branches=2,
+    tellers=8,
+    server_instances=3,
+    restart_limit=8,
+    terminals=8,
+    keep_trace=True,
+    front_end=False,
+    cache_capacity=256,
+):
+    """A standard banking node, optionally with a terminal front-end node."""
+    builder = SystemBuilder(seed=seed, keep_trace=keep_trace)
+    builder.add_node("alpha", cpus=cpus)
+    if front_end:
+        builder.add_node("term", cpus=2)
+    cpu_pairs = [(c, c + 1) for c in range(0, cpus - 1, 2)]
+    volume_names = []
+    for v in range(volumes):
+        pair = cpu_pairs[v % len(cpu_pairs)]
+        name = f"$data{v}" if volumes > 1 else "$data"
+        builder.add_volume("alpha", name, cpus=pair, cache_capacity=cache_capacity)
+        volume_names.append(name)
+    if volumes == 1:
+        install_banking(builder, "alpha", "$data",
+                        server_instances=server_instances)
+    else:
+        # Spread the files: branch/teller on volume 0, history on volume
+        # 1, the account file key-range partitioned over the rest.
+        account_volumes = volume_names[2:] if volumes > 2 else volume_names
+        step = max(accounts // len(account_volumes), 1)
+        partitions = [PartitionSpec("alpha", account_volumes[0])]
+        for index in range(1, len(account_volumes)):
+            partitions.append(
+                PartitionSpec("alpha", account_volumes[index], low_key=(index * step,))
+            )
+        install_banking(
+            builder, "alpha", volume_names[0],
+            server_instances=server_instances,
+            data_partitions=tuple(partitions),
+            meta_partition=PartitionSpec("alpha", volume_names[0]),
+            history_partition=PartitionSpec("alpha", volume_names[1 % volumes]),
+        )
+    tcp_cpus = (cpus - 2, cpus - 1)
+    builder.add_tcp("alpha", "$tcp1", cpus=tcp_cpus, restart_limit=restart_limit)
+    builder.add_program("alpha", "$tcp1", "debit-credit", debit_credit_program)
+    terminal_ids = [f"T{i}" for i in range(terminals)]
+    for terminal in terminal_ids:
+        builder.add_terminal("alpha", "$tcp1", terminal, "debit-credit")
+    system = builder.build()
+    populate_banking(system, "alpha", branches=branches,
+                     tellers_per_branch=tellers // branches, accounts=accounts)
+    return system, terminal_ids
+
+
+def banking_input_maker(accounts, branches=2, tellers=8, amounts=(5, 10, 25, -5)):
+    def make_input(rng, terminal_id, iteration):
+        return {
+            "account_id": rng.randrange(accounts),
+            "teller_id": rng.randrange(tellers),
+            "branch_id": rng.randrange(branches),
+            "amount": rng.choice(list(amounts)),
+            "allow_overdraft": True,
+        }
+
+    return make_input
+
+
+def drive_banking(system, terminal_ids, duration=3000.0, seed=5, accounts=24,
+                  node="alpha", tcp="$tcp1", think_time=15.0, branches=2,
+                  tellers=8):
+    return run_closed_loop(
+        system, node, tcp, terminal_ids,
+        banking_input_maker(accounts, branches=branches, tellers=tellers),
+        duration=duration, think_time=think_time,
+        rng=random.Random(seed),
+    )
+
+
+def settle(system, ms=3000.0, node="alpha"):
+    proc = system.spawn(node, "$settle",
+                        lambda p: (yield system.env.timeout(ms)), cpu=0)
+    system.cluster.run(proc.sim_process)

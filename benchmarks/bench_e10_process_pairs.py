@@ -1,0 +1,154 @@
+"""E10 — the process-pair mechanism (§The Tandem Operating System).
+
+Paper: "The primary process sends the backup process 'checkpoints' ...
+which ensure that the backup process has all the information that it
+would need in the event of failure to assume control of the device and
+carry through to completion any operation initiated by the primary."
+
+Reproduced quantitatively:
+
+1. takeover latency as seen by a client (requests in flight during the
+   takeover window complete transparently, a few ms late);
+2. the checkpoint overhead: messages per served request, and the cost
+   ratio against the request's useful work;
+3. an unprotected window never loses checkpointed state (backup loss →
+   re-protection on another CPU).
+"""
+
+from repro.guardian import Cluster, ConcurrentPair
+from repro.workloads import format_table
+
+
+class KvPair(ConcurrentPair):
+    """A minimal replicated key-value service for measurement."""
+
+    def state_defaults(self):
+        return {"kv": {}, "completed": {}}
+
+    def serve_request(self, proc, message):
+        op = message.payload
+        recorded = self.state["completed"].get(message.msg_id)
+        if recorded is not None:
+            proc.reply(message, recorded)
+            return
+        if op.get("op") == "put":
+            self.state["kv"][op["key"]] = op["value"]
+            reply = {"ok": True, "version": len(self.state["kv"])}
+            yield from self.checkpoint_update("kv", updates={op["key"]: op["value"]})
+            yield from self.checkpoint_update(
+                "completed", updates={message.msg_id: reply}, _charge=False
+            )
+        else:
+            reply = {"ok": True, "value": self.state["kv"].get(op["key"])}
+        proc.reply(message, reply)
+
+
+def build():
+    cluster = Cluster(seed=113)
+    cluster.add_node("alpha", cpu_count=4)
+    cluster.connect_all()
+    pair = KvPair(cluster.os("alpha"), "$kv", 0, 1, cluster.tracer)
+    return cluster, pair
+
+
+def test_e10_takeover_latency(benchmark):
+    def run():
+        cluster, pair = build()
+        observations = {}
+
+        def client(proc):
+            latencies = []
+            for i in range(50):
+                start = cluster.env.now
+                yield from cluster.fs("alpha").send(
+                    proc, "$kv", {"op": "put", "key": i, "value": i}
+                )
+                latencies.append(cluster.env.now - start)
+            observations["normal"] = sum(latencies) / len(latencies)
+            # One request with the primary failing mid-flight.
+            start = cluster.env.now
+            request = cluster.fs("alpha").send(
+                proc, "$kv", {"op": "put", "key": 999, "value": 1}
+            )
+            # Interleave the failure at the moment the request departs.
+            cluster.node("alpha").fail_cpu(0)
+            yield from request
+            observations["during_takeover"] = cluster.env.now - start
+            value = yield from cluster.fs("alpha").send(
+                proc, "$kv", {"op": "get", "key": 25}
+            )
+            observations["state_after"] = value["value"]
+
+        proc = cluster.os("alpha").spawn("$client", 2, client, register=False)
+        cluster.run(proc.sim_process)
+        observations["takeovers"] = pair.takeovers
+        return observations
+
+    obs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE10: normal request {obs['normal']:.2f} ms; request spanning a "
+          f"takeover {obs['during_takeover']:.2f} ms; takeovers={obs['takeovers']}")
+    assert obs["takeovers"] == 1
+    assert obs["state_after"] == 25, "checkpointed state survives"
+    assert obs["during_takeover"] < 50, "takeover adds only milliseconds"
+    assert obs["during_takeover"] > obs["normal"]
+
+
+def test_e10_checkpoint_overhead(benchmark):
+    def run():
+        cluster, pair = build()
+
+        def client(proc):
+            for i in range(100):
+                yield from cluster.fs("alpha").send(
+                    proc, "$kv", {"op": "put", "key": i % 10, "value": i}
+                )
+
+        proc = cluster.os("alpha").spawn("$client", 2, client, register=False)
+        cluster.run(proc.sim_process)
+        return {
+            "requests": 100,
+            "checkpoints": pair.checkpoints_sent,
+            "ckpt_per_request": pair.checkpoints_sent / 100,
+            "ckpt_ms_per_request": (
+                pair.checkpoints_sent * cluster.latencies.checkpoint / 100
+            ),
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table([row], title="E10: checkpoint overhead (kv puts)"))
+    assert row["ckpt_per_request"] == 1.0
+    # The protection cost is well under a disc I/O per request.
+    assert row["ckpt_ms_per_request"] < 1.0
+
+
+def test_e10_reprotection_after_backup_loss(benchmark):
+    def run():
+        cluster, pair = build()
+        timeline = []
+
+        def client(proc):
+            yield from cluster.fs("alpha").send(
+                proc, "$kv", {"op": "put", "key": "a", "value": 1}
+            )
+            cluster.node("alpha").fail_cpu(1)  # backup dies
+            timeline.append(("backup_lost", pair.protected, pair.backup_cpu))
+            yield from cluster.fs("alpha").send(
+                proc, "$kv", {"op": "put", "key": "b", "value": 2}
+            )
+            # Now the re-protected pair survives a primary failure too.
+            cluster.node("alpha").fail_cpu(0)
+            value = yield from cluster.fs("alpha").send(
+                proc, "$kv", {"op": "get", "key": "b"}
+            )
+            timeline.append(("after_double_hop", value["value"], pair.primary_cpu))
+
+        proc = cluster.os("alpha").spawn("$client", 2, client, register=False)
+        cluster.run(proc.sim_process)
+        return timeline, pair
+
+    timeline, pair = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE10 re-protection timeline: {timeline}")
+    assert timeline[0][1] is True, "a replacement backup was recruited"
+    assert timeline[1][1] == 2, "state survived primary loss after re-protection"
+    assert pair.takeovers == 1

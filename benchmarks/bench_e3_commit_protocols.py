@@ -1,0 +1,140 @@
+"""E3 — commit protocols: abbreviated (single-node) vs distributed 2PC.
+
+Paper (§Transaction State Change, §Distributed Commit Protocol): within
+a node TMF uses an abbreviated two-phase commit with state broadcast to
+every CPU; across nodes, only participants get TMP-to-TMP messages —
+phase one critical-response, phase two safe-delivery.  The cost
+therefore grows with the number of *participating nodes*, not with the
+size of the network.
+
+Reproduced: END-TRANSACTION latency and message counts for a transaction
+touching 1, 2 and 3 nodes of a 5-node network.
+"""
+
+from repro.core import TransactionAborted
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+from repro.encompass import SystemBuilder
+from repro.workloads import format_table
+
+NODES = ("n1", "n2", "n3", "n4", "n5")
+
+
+def build():
+    builder = SystemBuilder(seed=53)
+    for name in NODES:
+        builder.add_node(name, cpus=4)
+        builder.add_volume(name, "$data", cpus=(0, 1))
+    for name in NODES:
+        builder.define_file(
+            FileSchema(
+                name=f"ledger.{name}",
+                organization=KEY_SEQUENCED,
+                primary_key=("entry",),
+                audited=True,
+                partitions=(PartitionSpec(name, "$data"),),
+            )
+        )
+    return builder.build()
+
+
+def run_commits(system, touch_nodes, count=10):
+    """Transactions from n1 writing one record on each node in
+    ``touch_nodes``; returns (mean END latency, messages, broadcasts)."""
+    tmf = system.tmf["n1"]
+    client = system.clients["n1"]
+    tracer = system.tracer
+    out = {}
+
+    def body(proc):
+        end_latency = 0.0
+        tracer.counters["msg_network"] = 0
+        broadcasts_before = sum(t.broadcaster.broadcasts for t in system.tmf.values())
+        net_before = tracer.counters["msg_network"]
+        for i in range(count):
+            transid = yield from tmf.begin(proc)
+            for node in touch_nodes:
+                yield from client.insert(
+                    proc, f"ledger.{node}",
+                    {"entry": i + 1000 * len(touch_nodes), "value": i},
+                    transid=transid,
+                )
+            start = system.env.now
+            yield from tmf.end(proc, transid)
+            end_latency += system.env.now - start
+        yield system.env.timeout(1500)  # drain safe-delivery phase 2
+        out["latency"] = end_latency / count
+        out["network_msgs"] = (tracer.counters["msg_network"] - net_before) / count
+        out["broadcasts"] = (
+            sum(t.broadcaster.broadcasts for t in system.tmf.values())
+            - broadcasts_before
+        ) / count
+
+    proc = system.spawn("n1", f"$run{len(touch_nodes)}", body, cpu=0)
+    system.cluster.run(proc.sim_process)
+    return out
+
+
+def test_e3_cost_grows_with_participants_not_network(benchmark):
+    def run():
+        system = build()
+        rows = []
+        for touch in (["n1"], ["n1", "n2"], ["n1", "n2", "n3"]):
+            out = run_commits(system, touch)
+            rows.append({
+                "participating_nodes": len(touch),
+                "end_latency_ms": out["latency"],
+                "network_msgs_per_tx": out["network_msgs"],
+                "state_broadcasts_per_tx": out["broadcasts"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows, title="E3: commit cost vs participating nodes (5-node network)"
+    ))
+    # Single-node: the abbreviated protocol uses no network messages.
+    assert rows[0]["network_msgs_per_tx"] == 0
+    # Distributed: cost rises with participants...
+    assert rows[1]["end_latency_ms"] > rows[0]["end_latency_ms"]
+    assert rows[2]["network_msgs_per_tx"] > rows[1]["network_msgs_per_tx"]
+    # ...and broadcasts stay proportional to participants (3 per node per
+    # transaction), NOT to the 5-node network size.
+    assert rows[0]["state_broadcasts_per_tx"] == 3
+    assert 5.5 <= rows[1]["state_broadcasts_per_tx"] <= 6.5
+    assert 8.5 <= rows[2]["state_broadcasts_per_tx"] <= 9.5
+
+
+def test_e3_phase1_failure_aborts_everywhere(benchmark):
+    """A participant inaccessible at phase-one time fails the commit."""
+
+    def run():
+        system = build()
+        tmf = system.tmf["n1"]
+        client = system.clients["n1"]
+        outcome = {}
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            yield from client.insert(
+                proc, "ledger.n3", {"entry": 1, "value": 1}, transid=transid
+            )
+            system.cluster.network.partition(["n1"], ["n2", "n3", "n4", "n5"])
+            try:
+                yield from tmf.end(proc, transid)
+                outcome["result"] = "committed"
+            except TransactionAborted as exc:
+                outcome["result"] = f"aborted: {exc.reason[:40]}"
+            system.cluster.network.heal()
+            yield system.env.timeout(2000)
+            record = yield from client.read(proc, "ledger.n3", (1,))
+            outcome["record_after"] = record
+
+        proc = system.spawn("n1", "$doomed", body, cpu=1)
+        system.cluster.run(proc.sim_process)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE3: phase-1 partition outcome: {outcome}")
+    assert outcome["result"].startswith("aborted")
+    assert outcome["record_after"] is None

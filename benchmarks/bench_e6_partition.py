@@ -1,0 +1,154 @@
+"""E6 — partitions and the in-doubt window (§Distributed Commit Protocol).
+
+Paper: "Until a non-home node has replied affirmatively to the phase-one
+message, it can unilaterally abort the transaction ...  Once a non-home
+node has replied affirmatively ... it must hold the transaction's locks
+until notification of the transaction's final disposition ...  If
+communication is lost at this point, the transaction's locks on the
+inaccessible node will be held until communication is restored."  Plus
+the three-step manual override.
+
+Reproduced: the full episode as a table — locks before/during/after, and
+the manual-override variant that frees them without waiting for heal.
+"""
+
+from repro.core import TmpForceDisposition, TransactionAborted
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+from repro.encompass import SystemBuilder
+from repro.workloads import format_table
+
+
+def build():
+    builder = SystemBuilder(seed=83)
+    for name in ("home", "remote"):
+        builder.add_node(name, cpus=4)
+        builder.add_volume(name, "$data", cpus=(0, 1))
+    builder.define_file(
+        FileSchema(
+            name="rledger",
+            organization=KEY_SEQUENCED,
+            primary_key=("entry",),
+            audited=True,
+            partitions=(PartitionSpec("remote", "$data"),),
+        )
+    )
+    return builder.build()
+
+
+def run_episode(use_override):
+    system = build()
+    tmf_home = system.tmf["home"]
+    tmf_remote = system.tmf["remote"]
+    dp_remote = system.disc_processes[("remote", "$data")]
+    observations = {}
+
+    def committer(proc, transid):
+        try:
+            yield from tmf_home.end(proc, transid)
+            observations["home_outcome"] = "committed"
+        except TransactionAborted:
+            observations["home_outcome"] = "aborted"
+
+    def body(proc):
+        transid = yield from tmf_home.begin(proc)
+        yield from system.clients["home"].insert(
+            proc, "rledger", {"entry": 1, "value": 9}, transid=transid
+        )
+        node_os = system.cluster.os("home")
+        commit_proc = node_os.spawn(
+            "$c", 1, lambda p: committer(p, transid), register=False
+        )
+        while not tmf_remote.records[transid].phase1_acked:
+            yield system.env.timeout(1)
+        system.cluster.network.partition(["home"], ["remote"])
+        partition_at = system.env.now
+        yield commit_proc.sim_process
+        yield system.env.timeout(1000)
+        observations["locks_during"] = dp_remote.locks.held_count()
+        observations["remote_state_during"] = str(
+            tmf_remote.broadcaster.current_state(transid)
+        )
+        if use_override:
+            # Manual override: (1) operator reads the disposition at the
+            # home node, (2) "telephone call", (3) forces it remotely.
+            disposition = tmf_home.dispositions.get(transid, "aborted")
+
+            def operator(p):
+                yield from system.cluster.fs("remote").send(
+                    p, "$TMP", TmpForceDisposition(transid, disposition)
+                )
+
+            op = system.cluster.os("remote").spawn("$op", 0, operator, register=False)
+            yield op.sim_process
+            observations["freed_by"] = "manual override (still partitioned)"
+        else:
+            system.cluster.network.heal()
+            yield system.env.timeout(2500)
+            observations["freed_by"] = "safe delivery after heal"
+        observations["locks_after"] = dp_remote.locks.held_count()
+        observations["stranded_ms"] = system.env.now - partition_at
+        observations["remote_done"] = tmf_remote.records[transid].done
+        if use_override:
+            system.cluster.network.heal()
+
+    proc = system.spawn("home", "$body", body, cpu=0)
+    system.cluster.run(proc.sim_process)
+    return observations
+
+
+def test_e6_stranded_locks_and_release_paths(benchmark):
+    def run():
+        return [run_episode(False), run_episode(True)]
+
+    heal, override = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"path": "wait for heal", **{k: v for k, v in heal.items()}},
+        {"path": "manual override", **{k: v for k, v in override.items()}},
+    ]
+    print()
+    print(format_table(rows, title="E6: in-doubt locks after a phase-1 ack"))
+    for row in (heal, override):
+        assert row["home_outcome"] == "committed"
+        assert row["locks_during"] > 0, "locks must be stranded while cut off"
+        assert row["remote_state_during"] == "ending"
+        assert row["locks_after"] == 0
+        assert row["remote_done"] == "committed"
+
+
+def test_e6_unilateral_abort_window(benchmark):
+    """Before its phase-1 ack, a participant may unilaterally abort —
+    and then forces network-wide consensus by voting no."""
+
+    def run():
+        system = build()
+        tmf_home = system.tmf["home"]
+        tmf_remote = system.tmf["remote"]
+        outcome = {}
+
+        def body(proc):
+            transid = yield from tmf_home.begin(proc)
+            yield from system.clients["home"].insert(
+                proc, "rledger", {"entry": 2, "value": 1}, transid=transid
+            )
+            system.cluster.network.partition(["home"], ["remote"])
+            yield system.env.timeout(1500)  # remote sweep aborts unilaterally
+            outcome["remote_done_during"] = tmf_remote.records[transid].done
+            outcome["remote_locks"] = (
+                system.disc_processes[("remote", "$data")].locks.held_count()
+            )
+            system.cluster.network.heal()
+            try:
+                yield from tmf_home.end(proc, transid)
+                outcome["home"] = "committed"
+            except TransactionAborted:
+                outcome["home"] = "aborted"
+
+        proc = system.spawn("home", "$b", body, cpu=0)
+        system.cluster.run(proc.sim_process)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE6 unilateral-abort window: {outcome}")
+    assert outcome["remote_done_during"] == "aborted"
+    assert outcome["remote_locks"] == 0, "unilateral abort frees locks early"
+    assert outcome["home"] == "aborted", "consensus forced to abort"

@@ -1,0 +1,162 @@
+"""E8 — voluntary abort, RESTART-TRANSACTION, and the restart limit.
+
+Paper (§Transaction Management): voluntary backout via
+ABORT-TRANSACTION makes user-coded reversal unnecessary; automatic
+restart re-runs from BEGIN-TRANSACTION unless "the number of restarts
+has ... exceeded a configurable 'transaction restart limit'";
+RESTART-TRANSACTION is the transient-problem (deadlock-timeout) path.
+
+Reproduced: the attempt distribution under heavy contention, the restart
+limit enforced exactly, and voluntary aborts leaving no trace.
+"""
+
+import random
+from collections import Counter
+
+from _common import settle
+from repro.apps.banking import check_consistency, install_banking, populate_banking
+from repro.encompass import SystemBuilder
+from repro.workloads import format_table, run_closed_loop
+
+
+def build_transfer_system(restart_limit, seed=97):
+    builder = SystemBuilder(seed=seed, keep_trace=False)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    install_banking(builder, "alpha", "$data", server_instances=4)
+
+    def transfer_server(ctx, request):
+        a = yield from ctx.read("account", (request["a"],), lock=True,
+                                lock_timeout=100)
+        yield from ctx.pause(request.get("hold", 20))
+        b = yield from ctx.read("account", (request["b"],), lock=True,
+                                lock_timeout=100)
+        a["balance"] -= 1
+        b["balance"] += 1
+        yield from ctx.update("account", a)
+        yield from ctx.update("account", b)
+        return {"ok": True}
+
+    def transfer_program(ctx, data):
+        yield from ctx.send_ok("$xfer", data)
+        return True
+
+    builder.add_server_class("alpha", "$xfer", transfer_server, instances=4)
+    builder.add_tcp("alpha", "$tcp1", cpus=(2, 3), restart_limit=restart_limit)
+    builder.add_program("alpha", "$tcp1", "transfer", transfer_program)
+    terminals = [f"T{i}" for i in range(6)]
+    for terminal in terminals:
+        builder.add_terminal("alpha", "$tcp1", terminal, "transfer")
+    system = builder.build()
+    populate_banking(system, "alpha", branches=1, tellers_per_branch=1,
+                     accounts=5)
+    return system, terminals
+
+
+def test_e8_attempt_distribution_under_contention(benchmark):
+    def run():
+        system, terminals = build_transfer_system(restart_limit=10)
+        rng = random.Random(101)
+
+        def make_input(r, terminal_id, iteration):
+            a, b = r.sample(range(5), 2)
+            return {"a": a, "b": b}
+
+        result = run_closed_loop(
+            system, "alpha", "$tcp1", terminals, make_input,
+            duration=4000.0, think_time=5.0, rng=rng,
+        )
+        settle(system)
+        report = check_consistency(system, "alpha")
+        return result, report
+
+    result, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    attempts = Counter(m.attempts for m in result.metrics if m.ok)
+    rows = [
+        {"attempts": k, "units": v, "share": v / max(result.committed, 1)}
+        for k, v in sorted(attempts.items())
+    ]
+    print()
+    print(format_table(rows, title="E8: attempts per committed unit (hot transfers)"))
+    assert report["consistent"]
+    assert result.committed > 0
+    assert any(k > 1 for k in attempts), "contention must cause restarts"
+
+
+def test_e8_restart_limit_enforced_exactly(benchmark):
+    def run():
+        outcomes = []
+        for limit in (0, 2, 4):
+            builder = SystemBuilder(seed=103, keep_trace=False)
+            builder.add_node("alpha", cpus=4)
+            builder.add_volume("alpha", "$data")
+
+            def always_restart(ctx, data):
+                ctx.restart_transaction("transient problem")
+                yield  # pragma: no cover
+
+            builder.add_tcp("alpha", "$tcp1", cpus=(2, 3), restart_limit=limit)
+            builder.add_program("alpha", "$tcp1", "loop", always_restart)
+            builder.add_terminal("alpha", "$tcp1", "T0", "loop")
+            system = builder.build()
+            reply = system.drive("alpha", "$tcp1", "T0", {})
+            outcomes.append({
+                "restart_limit": limit,
+                "attempts": reply["attempts"],
+                "error": reply.get("error"),
+            })
+        return outcomes
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="E8: restart limit enforcement"))
+    for row in rows:
+        assert row["error"] == "restart_limit"
+        assert row["attempts"] == row["restart_limit"] + 1
+
+
+def test_e8_voluntary_abort_leaves_no_trace(benchmark):
+    """ABORT-TRANSACTION: everything the transaction did — including
+    multi-file updates already applied — is backed out, with no
+    user-coded reversal."""
+
+    def run():
+        system, terminals = build_transfer_system(restart_limit=3, seed=107)
+        before = check_consistency(system, "alpha")
+
+        def fickle_server(ctx, request):
+            # Update two accounts, then decide to abort.
+            a = yield from ctx.read("account", (0,), lock=True)
+            a["balance"] += 1000
+            yield from ctx.update("account", a)
+            b = yield from ctx.read("account", (1,), lock=True)
+            b["balance"] -= 1000
+            yield from ctx.update("account", b)
+            return {"ok": False, "error": "changed_my_mind"}
+
+        def fickle_program(ctx, data):
+            reply = yield from ctx.send("$fickle-1", data)
+            if not reply.get("ok"):
+                ctx.abort_transaction(reply["error"])
+            return True
+            yield  # pragma: no cover
+
+        from repro.encompass import ServerClass
+        ServerClass(system.cluster.os("alpha"), "$fickle", fickle_server,
+                    system.clients["alpha"], instances=1)
+        tcp = system.tcps[("alpha", "$tcp1")]
+        tcp.add_program("fickle", fickle_program)
+        tcp.add_terminal("TF", "fickle")
+        reply = system.drive("alpha", "$tcp1", "TF", {})
+        settle(system)
+        after = check_consistency(system, "alpha")
+        return reply, before, after
+
+    reply, before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE8 voluntary abort: error={reply.get('error')}, "
+          f"reason={reply.get('reason')}; totals unchanged: "
+          f"{before['account_total']} -> {after['account_total']}")
+    assert reply["error"] == "aborted"
+    assert reply["attempts"] == 1, "voluntary abort must NOT restart"
+    assert after["account_total"] == before["account_total"]
+    assert after["consistent"]

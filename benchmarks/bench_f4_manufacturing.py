@@ -1,0 +1,135 @@
+"""F4 — Figure 4: the manufacturing network's autonomy/consistency trade.
+
+Reproduced quantitatively: suspense-file depth grows with partition
+duration while the cut-off node keeps its own updates flowing (node
+autonomy); after the network heals, copies converge, and convergence
+time grows with the backlog.  The ablation (DESIGN.md choice 4) compares
+against the synchronous all-copy design, which loses autonomy: global
+updates fail during the partition.
+"""
+
+from repro.apps.manufacturing import MANUFACTURING_NODES, build_manufacturing_system
+from repro.workloads import format_table
+
+
+def run_partition_episode(partition_ms, updates_during=4):
+    app = build_manufacturing_system(seed=31, items_per_node=2,
+                                     monitor_interval=150.0)
+    system = app.system
+    network = system.cluster.network
+    others = [n for n in MANUFACTURING_NODES if n != "neufahrn"]
+
+    def do_update(node, item, qty, name):
+        def op(proc):
+            reply = yield from app.update_item(proc, node, item, {"qty_on_hand": qty})
+            return reply
+        proc = system.spawn(node, name, op, cpu=0)
+        return system.cluster.run(proc.sim_process)
+
+    network.partition(["neufahrn"], others)
+    start = system.env.now
+    succeeded = 0
+    for i in range(updates_during):
+        # Neufahrn keeps updating records it masters (items 6, 7).
+        reply = do_update("neufahrn", 6 + (i % 2), 100 + i, f"$u{i}")
+        succeeded += bool(reply["ok"])
+    # Let the partition last the prescribed time.
+    idle = system.spawn("cupertino", "$hold",
+                        lambda p: (yield system.env.timeout(
+                            max(partition_ms - (system.env.now - start), 1))),
+                        cpu=0)
+    system.cluster.run(idle.sim_process)
+    depth_during = _suspense_depth(app, "neufahrn")
+    network.heal()
+    heal_time = system.env.now
+    # Poll for convergence.
+    for _ in range(200):
+        idle = system.spawn("cupertino", "$poll",
+                            lambda p: (yield system.env.timeout(100)), cpu=0)
+        system.cluster.run(idle.sim_process)
+        if _suspense_depth(app, "neufahrn") == 0:
+            break
+    report = app.convergence_report()
+    return {
+        "partition_ms": partition_ms,
+        "updates_during": succeeded,
+        "suspense_depth": depth_during,
+        "converged": report["converged"],
+        "convergence_ms": system.env.now - heal_time,
+    }
+
+
+def _suspense_depth(app, node):
+    out = {}
+
+    def reader(proc):
+        rows = yield from app.system.clients[node].scan(proc, f"suspense.{node}")
+        out["depth"] = len(rows)
+
+    proc = app.system.spawn(node, "$d", reader, cpu=0)
+    app.system.cluster.run(proc.sim_process)
+    return out["depth"]
+
+
+def test_f4_autonomy_and_convergence(benchmark):
+    def run():
+        return [run_partition_episode(800), run_partition_episode(2500, updates_during=8)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="F4: partition episodes (record-master design)"))
+    for row in rows:
+        assert row["updates_during"] > 0, "node autonomy violated"
+        assert row["converged"], "copies must converge after heal"
+    assert rows[1]["suspense_depth"] >= rows[0]["suspense_depth"]
+
+
+def test_f4_ablation_synchronous_design_loses_autonomy(benchmark):
+    """The paper's rejected design: update all copies in one TMF
+    transaction.  Consistent, but 'no node can run a global update
+    transaction at a time when any other node is unavailable'."""
+
+    def run():
+        app = build_manufacturing_system(seed=37, items_per_node=1,
+                                         monitor_interval=150.0)
+        system = app.system
+        tmf = system.tmf["neufahrn"]
+        client = system.clients["neufahrn"]
+
+        def synchronous_update(proc):
+            from repro.core import TransactionAborted
+            from repro.discprocess import FileError, FileUnavailableError
+            transid = yield from tmf.begin(proc)
+            try:
+                for node in MANUFACTURING_NODES:
+                    record = yield from client.read(
+                        proc, f"item_master.{node}", (3,), transid=transid,
+                        lock=True,
+                    )
+                    record["qty_on_hand"] = 1
+                    yield from client.update(
+                        proc, f"item_master.{node}", record, transid=transid
+                    )
+                yield from tmf.end(proc, transid)
+                return "committed"
+            except (TransactionAborted, FileError, FileUnavailableError) as exc:
+                yield from tmf.abort(proc, transid, str(exc))
+                return "failed"
+
+        # Works while the network is whole...
+        proc = system.spawn("neufahrn", "$sync1", synchronous_update, cpu=0)
+        whole = system.cluster.run(proc.sim_process)
+        # ...but not during a partition, even for a record neufahrn masters.
+        system.cluster.network.partition(
+            ["neufahrn"], [n for n in MANUFACTURING_NODES if n != "neufahrn"]
+        )
+        proc = system.spawn("neufahrn", "$sync2", synchronous_update, cpu=1)
+        partitioned = system.cluster.run(proc.sim_process)
+        system.cluster.network.heal()
+        return whole, partitioned
+
+    whole, partitioned = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nF4 ablation (synchronous all-copy update): "
+          f"whole-network={whole}, during-partition={partitioned}")
+    assert whole == "committed"
+    assert partitioned == "failed"

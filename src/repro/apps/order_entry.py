@@ -1,0 +1,186 @@
+"""An order-entry application (multi-file, secondary-index workload).
+
+Exercises the data-base-manager features of §Data Base Management that
+banking does not: multi-record inserts per transaction, alternate-key
+access ("multi-key access to records with automatic maintenance of the
+indices during file update"), compound primary keys, and range scans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..discprocess import (
+    ENTRY_SEQUENCED,
+    FileSchema,
+    KEY_SEQUENCED,
+    PartitionSpec,
+)
+from ..encompass import ServerContext, SystemBuilder
+
+__all__ = [
+    "order_entry_schemas",
+    "order_server",
+    "install_order_entry",
+    "populate_order_entry",
+]
+
+
+def order_entry_schemas(partition: PartitionSpec) -> List[FileSchema]:
+    loc = (partition,)
+    return [
+        FileSchema(
+            name="customer",
+            organization=KEY_SEQUENCED,
+            primary_key=("customer_id",),
+            alternate_keys=("region",),
+            audited=True,
+            partitions=loc,
+        ),
+        FileSchema(
+            name="item",
+            organization=KEY_SEQUENCED,
+            primary_key=("item_id",),
+            audited=True,
+            partitions=loc,
+        ),
+        FileSchema(
+            name="order",
+            organization=KEY_SEQUENCED,
+            primary_key=("order_id",),
+            alternate_keys=("customer_id", "status"),
+            audited=True,
+            partitions=loc,
+        ),
+        FileSchema(
+            name="order_line",
+            organization=KEY_SEQUENCED,
+            primary_key=("order_id", "line_number"),
+            audited=True,
+            partitions=loc,
+        ),
+        FileSchema(
+            name="order_log",
+            organization=ENTRY_SEQUENCED,
+            audited=True,
+            partitions=loc,
+        ),
+    ]
+
+
+def order_server(ctx: ServerContext, request: Dict[str, Any]) -> Generator:
+    """Ops: new_order, ship_order, orders_for_customer, open_orders."""
+    op = request.get("op")
+    if op == "new_order":
+        order_id = request["order_id"]
+        customer = yield from ctx.read(
+            "customer", (request["customer_id"],), lock=True
+        )
+        if customer is None:
+            return {"ok": False, "error": "no_such_customer"}
+        total = 0
+        for line_number, (item_id, qty) in enumerate(request["lines"], start=1):
+            item = yield from ctx.read("item", (item_id,), lock=True)
+            if item is None or item["stock"] < qty:
+                # Out of stock: voluntary abort via error reply.
+                return {"ok": False, "error": "out_of_stock", "item_id": item_id}
+            item["stock"] -= qty
+            yield from ctx.update("item", item)
+            yield from ctx.insert(
+                "order_line",
+                {
+                    "order_id": order_id,
+                    "line_number": line_number,
+                    "item_id": item_id,
+                    "quantity": qty,
+                    "price": qty * item["price"],
+                },
+            )
+            total += qty * item["price"]
+        yield from ctx.insert(
+            "order",
+            {
+                "order_id": order_id,
+                "customer_id": request["customer_id"],
+                "status": "open",
+                "total": total,
+            },
+        )
+        yield from ctx.append_entry(
+            "order_log", {"event": "new", "order_id": order_id, "total": total}
+        )
+        return {"ok": True, "order_id": order_id, "total": total}
+
+    if op == "ship_order":
+        order = yield from ctx.read("order", (request["order_id"],), lock=True)
+        if order is None:
+            return {"ok": False, "error": "no_such_order"}
+        order["status"] = "shipped"
+        yield from ctx.update("order", order)
+        yield from ctx.append_entry(
+            "order_log", {"event": "ship", "order_id": order["order_id"]}
+        )
+        return {"ok": True}
+
+    if op == "orders_for_customer":
+        orders = yield from ctx.read_via_index(
+            "order", "customer_id", request["customer_id"]
+        )
+        return {"ok": True, "orders": orders}
+
+    if op == "open_orders":
+        orders = yield from ctx.read_via_index("order", "status", "open")
+        return {"ok": True, "orders": orders}
+
+    return {"ok": False, "error": "bad_op"}
+
+
+def install_order_entry(
+    builder: SystemBuilder,
+    node: str = "alpha",
+    volume: str = "$data",
+    server_instances: int = 2,
+) -> None:
+    for schema in order_entry_schemas(PartitionSpec(node, volume)):
+        builder.define_file(schema)
+    builder.add_server_class(node, "$order", order_server, instances=server_instances)
+
+
+def populate_order_entry(
+    system: Any,
+    node: str,
+    customers: int = 20,
+    items: int = 50,
+    stock: int = 1000,
+    price: int = 10,
+) -> None:
+    client = system.clients[node]
+    tmf = system.tmf[node]
+
+    def loader(proc):
+        transid = yield from tmf.begin(proc)
+        for customer_id in range(customers):
+            yield from client.insert(
+                proc,
+                "customer",
+                {
+                    "customer_id": customer_id,
+                    "region": ["west", "east", "eu"][customer_id % 3],
+                    "name": f"customer {customer_id}",
+                },
+                transid=transid,
+            )
+        yield from tmf.end(proc, transid)
+        transid = yield from tmf.begin(proc)
+        for item_id in range(items):
+            yield from client.insert(
+                proc,
+                "item",
+                {"item_id": item_id, "stock": stock, "price": price},
+                transid=transid,
+            )
+        yield from tmf.end(proc, transid)
+        return True
+
+    proc = system.spawn(node, "$oload", loader, cpu=0)
+    system.cluster.run(proc.sim_process)

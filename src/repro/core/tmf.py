@@ -1,0 +1,652 @@
+"""TMF: the Transaction Monitoring Facility of one node.
+
+This is the paper's primary contribution, assembled: transids, the
+Figure 3 state machine with node-wide broadcast, distributed audit
+trails, transaction backout, the Monitor Audit Trail, and both commit
+protocols —
+
+* the **abbreviated two-phase commit** for transactions that stay within
+  a node: phase one forces all the transaction's audit records to disc,
+  the commit record written to the Monitor Audit Trail is the commit
+  point, and phase two releases locks;
+* the **distributed two-phase commit**: phase one is a critical-response
+  wave down the transid-transmission tree (each node forces its local
+  audit and transitively polls its own children); any participant can
+  unilaterally abort until it acks phase one; after acking it must hold
+  the transaction's locks until the disposition arrives (possibly after
+  a partition heals, or by manual override); phase two and abort
+  propagation are safe-delivery messages retried until received.
+
+A :class:`TmfNode` exists per node; there is no network master — the
+home node of each transaction coordinates that transaction only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..discprocess.ops import QuiesceTransaction, ReleaseLocks
+from ..guardian import (
+    FileSystem,
+    FileSystemError,
+    NodeOs,
+    OsProcess,
+)
+from ..sim import Event, Tracer
+from .audit import AuditProcess, AuditTrail, CompletionRecord, ForceAudit
+from .backout import BackoutProcess, BackoutTx
+from .states import StateBroadcaster, TxState
+from .tmp import (
+    TmpAbort,
+    TmpAbortRemote,
+    TmpCommit,
+    TmpPhase1,
+    TmpPhase2,
+    TmpProcess,
+    TmpRemoteBegin,
+)
+from .transid import Transid, TransidGenerator
+
+__all__ = ["TmfNode", "TmfConfig", "TransactionAborted", "TransactionRecord"]
+
+
+class TransactionAborted(Exception):
+    """END-TRANSACTION was rejected: the transaction has been backed out."""
+
+    def __init__(self, transid: Transid, reason: str = ""):
+        super().__init__(f"{transid} aborted: {reason}")
+        self.transid = transid
+        self.reason = reason
+
+
+@dataclass
+class TmfConfig:
+    """Tunable protocol parameters."""
+
+    phase1_timeout: float = 2000.0      # critical-response deadline (ms)
+    force_timeout: float = 5000.0       # local audit force deadline
+    safe_retry_interval: float = 200.0  # safe-delivery retry period
+    sweep_interval: float = 250.0       # unilateral-abort sweep period
+    done_retention: int = 10000         # completed-transaction records kept
+
+
+@dataclass
+class TransactionRecord:
+    """Everything one node knows about one transaction."""
+
+    transid: Transid
+    home: bool
+    parent: Optional[str] = None
+    origin_cpu: int = 0
+    local_volumes: Set[str] = field(default_factory=set)
+    local_audit_processes: Set[str] = field(default_factory=set)
+    children: Set[str] = field(default_factory=set)
+    phase1_acked: bool = False
+    done: Optional[str] = None          # committed | aborted
+    abort_reason: str = ""
+    settling: bool = False
+    settled_event: Optional[Event] = None
+
+
+class TmfNode:
+    """The TMF instance of one node."""
+
+    def __init__(
+        self,
+        node_os: NodeOs,
+        filesystem: FileSystem,
+        monitor_volume: Any,
+        tmp_cpus: Tuple[int, int] = (0, 1),
+        config: Optional[TmfConfig] = None,
+        tracer: Optional[Tracer] = None,
+        tmp_name: str = "$TMP",
+        backout_name: str = "$BACKOUT",
+    ):
+        self.node_os = node_os
+        self.env = node_os.env
+        self.filesystem = filesystem
+        self.config = config or TmfConfig()
+        self.tracer = tracer
+        self.node_name = node_os.node.name
+        self.generator = TransidGenerator(self.node_name)
+        self.broadcaster = StateBroadcaster(node_os.node, tracer)
+        self.records: Dict[Transid, TransactionRecord] = {}
+        self._done_order: List[Transid] = []
+        # The Monitor Audit Trail: history of commit/abort records.
+        self.monitor_trail = AuditTrail(monitor_volume, prefix="MM")
+        self.dispositions: Dict[Transid, str] = {}
+        # Registries for node-local housekeeping.
+        self.audit_objects: Dict[str, AuditProcess] = {}
+        self.disc_objects: Dict[str, Any] = {}
+        # Safe-delivery queue and deferred automatic aborts/resolutions.
+        self._safe_queue: List[Tuple[str, Any]] = []
+        self._auto_aborts: List[Tuple[Transid, str]] = []
+        self._interrupted: List[Transid] = []
+        self.tmp_name = tmp_name
+        self.backout_name = backout_name
+        self.tmp = TmpProcess(
+            node_os, tmp_name, tmp_cpus[0], tmp_cpus[1], self, tracer
+        )
+        self.backout_process = BackoutProcess(
+            node_os, backout_name, tmp_cpus[0], tmp_cpus[1], filesystem, tracer
+        )
+        # Wire automatic transid export into the File System.
+        filesystem.transid_exporter = self.export_transid
+        for cpu in node_os.node.cpus:
+            cpu.watch_failure(self._on_cpu_failure)
+        # Statistics for the experiments.
+        self.commits = 0
+        self.aborts = 0
+        self.phase1_sent = 0
+        self.phase2_sent = 0
+        self.remote_begins_sent = 0
+
+    # ------------------------------------------------------------------
+    # Registration (node-local calls from DISCPROCESS / config)
+    # ------------------------------------------------------------------
+    def register_participant(
+        self, transid: Transid, volume: str, audit_process: Optional[str]
+    ) -> None:
+        record = self.records.get(transid)
+        if record is None:
+            # A transid arrived at a DISCPROCESS before the remote begin
+            # completed — should not happen (the File System exports the
+            # transid first); register defensively as a remote orphan.
+            record = self._new_record(transid, home=False)
+        record.local_volumes.add(volume)
+        if audit_process is not None:
+            record.local_audit_processes.add(audit_process)
+
+    def mutation_allowed(self, transid: Transid) -> bool:
+        """DISCPROCESS hook: may this transid still perform updates?
+
+        Consults the broadcast state table — only *active* transactions
+        may generate new data base work; anything in ending/aborting (or
+        already gone) is refused, which fences off servers that have not
+        yet learned their transaction was aborted.
+        """
+        return self.broadcaster.current_state(transid) == TxState.ACTIVE
+
+    def register_audit_process(self, name: str, audit_process: AuditProcess) -> None:
+        self.audit_objects[name] = audit_process
+
+    def register_disc_process(self, name: str, disc_process: Any) -> None:
+        self.disc_objects[name] = disc_process
+
+    def _new_record(self, transid: Transid, home: bool, parent: Optional[str] = None,
+                    origin_cpu: int = 0) -> TransactionRecord:
+        record = TransactionRecord(
+            transid=transid, home=home, parent=parent, origin_cpu=origin_cpu
+        )
+        self.records[transid] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Application entry points (generator helpers)
+    # ------------------------------------------------------------------
+    def begin(self, proc: OsProcess) -> Generator:
+        """BEGIN-TRANSACTION: new transid, broadcast 'active' node-wide."""
+        transid = self.generator.next(proc.cpu.number)
+        self._new_record(transid, home=True, origin_cpu=proc.cpu.number)
+        yield self.env.timeout(self.broadcaster.broadcast(transid, TxState.ACTIVE))
+        self._trace("begin_transaction", transid=str(transid))
+        return transid
+
+    def end(self, proc: OsProcess, transid: Transid) -> Generator:
+        """END-TRANSACTION: commit; raises :class:`TransactionAborted`."""
+        try:
+            reply = yield from self.filesystem.send(
+                proc, self.tmp_name, TmpCommit(transid), timeout=60_000.0
+            )
+        except FileSystemError as exc:
+            raise TransactionAborted(transid, f"TMP unavailable: {exc}") from exc
+        if reply.get("disposition") != "committed":
+            record = self.records.get(transid)
+            reason = record.abort_reason if record else "aborted by system"
+            raise TransactionAborted(transid, reason)
+
+    def abort(self, proc: OsProcess, transid: Transid, reason: str = "user abort") -> Generator:
+        """ABORT-TRANSACTION / RESTART-TRANSACTION: back out everywhere."""
+        try:
+            yield from self.filesystem.send(
+                proc, self.tmp_name, TmpAbort(transid, reason), timeout=60_000.0
+            )
+        except FileSystemError:
+            # TMP pair down: the abort will be queued when it returns.
+            self._auto_aborts.append((transid, reason))
+
+    def status(self, transid: Transid) -> Optional[TransactionRecord]:
+        return self.records.get(transid)
+
+    def disposition_of(self, transid: Transid) -> Dict[str, Any]:
+        record = self.records.get(transid)
+        disposition = self.dispositions.get(transid) or (record.done if record else None)
+        state = self.broadcaster.current_state(transid)
+        return {
+            "disposition": disposition or "unknown",
+            "state": str(state) if state else "gone",
+        }
+
+    # ------------------------------------------------------------------
+    # Transid export (File System hook): remote transaction begin
+    # ------------------------------------------------------------------
+    def export_transid(self, proc: OsProcess, transid: Transid, dest_node: str) -> Generator:
+        record = self.records.get(transid)
+        if record is None:
+            raise TransactionAborted(transid, "unknown transid at export")
+        if dest_node in record.children or dest_node == self.node_name:
+            return
+        # Critical response: the remote TMP must accept before any
+        # transmission of the transid to that node.
+        try:
+            reply = yield from self.filesystem.send(
+                proc,
+                f"\\{dest_node}.{self.tmp_name}",
+                TmpRemoteBegin(transid, parent=self.node_name),
+                timeout=self.config.phase1_timeout,
+            )
+        except FileSystemError as exc:
+            raise TransactionAborted(
+                transid, f"remote begin to {dest_node} failed: {exc}"
+            ) from exc
+        if not reply.get("ok"):
+            raise TransactionAborted(transid, f"remote begin rejected by {dest_node}")
+        record.children.add(dest_node)
+        self.remote_begins_sent += 1
+        self._trace("remote_begin", transid=str(transid), dest=dest_node)
+
+    # ------------------------------------------------------------------
+    # Protocol handlers (run inside TMP sub-handlers)
+    # ------------------------------------------------------------------
+    def do_commit(self, proc: OsProcess, transid: Transid) -> Generator:
+        record = self.records.get(transid)
+        if record is None:
+            return "aborted"
+        proceed = yield from self._settle_guard(record)
+        if not proceed:
+            return record.done
+        if self.dispositions.get(transid) == "committed":
+            # A previous coordinator wrote the commit record and then
+            # died: the transaction IS committed; finish phase two.
+            yield from self._commit_tail(proc, record)
+            return "committed"
+        state = self.broadcaster.current_state(transid)
+        if state != TxState.ENDING:
+            yield self.env.timeout(
+                self.broadcaster.broadcast(transid, TxState.ENDING)
+            )
+        ok = yield from self._phase1_here_and_below(proc, record)
+        if not ok:
+            yield from self._abort_core(proc, record, record.abort_reason or "phase one failed")
+            return "aborted"
+        # --- Commit point: the commit record reaches the Monitor Audit
+        # Trail.  "A transaction commits at the time its commit record is
+        # written to the Monitor Audit Trail."
+        yield from self._write_completion(transid, "committed")
+        self.commits += 1
+        yield from self._commit_tail(proc, record)
+        self._trace("commit", transid=str(transid), children=len(record.children))
+        return "committed"
+
+    def _commit_tail(self, proc: OsProcess, record: TransactionRecord) -> Generator:
+        """Phase two on this node: ENDED broadcast, unlock, propagate."""
+        transid = record.transid
+        if self.broadcaster.current_state(transid) == TxState.ENDING:
+            yield self.env.timeout(
+                self.broadcaster.broadcast(transid, TxState.ENDED)
+            )
+        yield from self._release_local(proc, record, committed=True)
+        for child in sorted(record.children):
+            self._queue_safe(child, TmpPhase2(transid))
+            self.phase2_sent += 1
+        self._finish_settle(record, "committed")
+        self._cleanup(record)
+
+    def do_abort(self, proc: OsProcess, transid: Transid, reason: str) -> Generator:
+        record = self.records.get(transid)
+        if record is None:
+            return "aborted"
+        proceed = yield from self._settle_guard(record)
+        if not proceed:
+            return record.done
+        yield from self._abort_core(proc, record, reason)
+        return "aborted"
+
+    def do_remote_begin(self, transid: Transid, parent: str) -> Generator:
+        record = self.records.get(transid)
+        if record is None:
+            record = self._new_record(transid, home=False, parent=parent)
+            yield self.env.timeout(
+                self.broadcaster.broadcast(transid, TxState.ACTIVE)
+            )
+            self._trace("remote_begin_accepted", transid=str(transid), parent=parent)
+        return True
+
+    def do_phase1(self, proc: OsProcess, transid: Transid) -> Generator:
+        record = self.records.get(transid)
+        if record is None:
+            return "no"
+        while record.settling:
+            yield from self._wait_settled(record)
+        if record.done == "aborted":
+            return "no"   # unilateral abort already happened: force consensus
+        if record.done == "committed" or record.phase1_acked:
+            return "yes"
+        yield self.env.timeout(self.broadcaster.broadcast(transid, TxState.ENDING))
+        ok = yield from self._phase1_here_and_below(proc, record)
+        if not ok:
+            proceed = yield from self._settle_guard(record)
+            if proceed:
+                yield from self._abort_core(
+                    proc, record, record.abort_reason or "phase one failed below"
+                )
+            return "no"
+        record.phase1_acked = True
+        self._trace("phase1_acked", transid=str(transid))
+        return "yes"
+
+    def do_phase2(self, proc: OsProcess, transid: Transid) -> Generator:
+        record = self.records.get(transid)
+        if record is None or record.done == "committed":
+            return
+        proceed = yield from self._settle_guard(record)
+        if not proceed:
+            return
+        if self.dispositions.get(transid) != "committed":
+            yield from self._write_completion(transid, "committed")
+        yield from self._commit_tail(proc, record)
+        self._trace("phase2_applied", transid=str(transid))
+
+    def do_abort_remote(self, proc: OsProcess, transid: Transid, reason: str) -> Generator:
+        record = self.records.get(transid)
+        if record is None or record.done == "aborted":
+            return
+        proceed = yield from self._settle_guard(record)
+        if not proceed:
+            return
+        yield from self._abort_core(proc, record, reason)
+
+    def do_force_disposition(self, proc: OsProcess, transid: Transid, disposition: str) -> Generator:
+        """Manual override for a transaction stranded by a partition.
+
+        The operator has determined the disposition at the home node
+        (steps 1–2 of the paper's manual procedure); this applies it.
+        """
+        record = self.records.get(transid)
+        if record is None or record.done is not None:
+            return
+        self._trace("manual_override", transid=str(transid), disposition=disposition)
+        if disposition == "committed":
+            yield from self.do_phase2(proc, transid)
+        else:
+            yield from self.do_abort_remote(proc, transid, "manual override")
+
+    # ------------------------------------------------------------------
+    # Protocol internals
+    # ------------------------------------------------------------------
+    def _phase1_here_and_below(self, proc: OsProcess, record: TransactionRecord) -> Generator:
+        """Force local audit, then critical-response phase 1 to children."""
+        transid = record.transid
+        for audit_name in sorted(record.local_audit_processes):
+            try:
+                reply = yield from self.filesystem.send(
+                    proc, audit_name, ForceAudit(transid),
+                    timeout=self.config.force_timeout,
+                )
+            except FileSystemError as exc:
+                record.abort_reason = f"audit force failed: {exc}"
+                return False
+            if not reply.get("ok"):
+                record.abort_reason = "audit force rejected"
+                return False
+        for child in sorted(record.children):
+            self.phase1_sent += 1
+            try:
+                reply = yield from self.filesystem.send(
+                    proc,
+                    f"\\{child}.{self.tmp_name}",
+                    TmpPhase1(transid),
+                    timeout=self.config.phase1_timeout,
+                )
+            except FileSystemError as exc:
+                record.abort_reason = f"phase 1: {child} inaccessible ({exc})"
+                return False
+            if reply.get("vote") != "yes":
+                record.abort_reason = f"phase 1: {child} voted no"
+                return False
+        return True
+
+    def _abort_core(self, proc: OsProcess, record: TransactionRecord, reason: str) -> Generator:
+        """ABORTING → backout → completion record → ABORTED → unlock."""
+        transid = record.transid
+        record.abort_reason = reason
+        state = self.broadcaster.current_state(transid)
+        if state in (TxState.ACTIVE, TxState.ENDING):
+            yield self.env.timeout(
+                self.broadcaster.broadcast(transid, TxState.ABORTING)
+            )
+        # Quiesce: the ABORTING broadcast stops *new* operations of this
+        # transid; wait out any already in flight so the backout sees
+        # their audit images.
+        for volume in sorted(record.local_volumes):
+            try:
+                yield from self.filesystem.send(
+                    proc,
+                    volume,
+                    QuiesceTransaction(transid),
+                    timeout=30_000.0,
+                )
+            except FileSystemError:
+                continue
+        if record.local_volumes:
+            try:
+                yield from self.filesystem.send(
+                    proc,
+                    self.backout_name,
+                    BackoutTx(
+                        transid,
+                        tuple(sorted(record.local_audit_processes)),
+                        tuple(sorted(record.local_volumes)),
+                    ),
+                    timeout=60_000.0,
+                )
+            except FileSystemError as exc:
+                # Backout impossible (backout pair / volume down): the
+                # affected volume is crashed and will need ROLLFORWARD;
+                # the abort still completes for the rest of the system.
+                self._trace("backout_failed", transid=str(transid), error=str(exc))
+        if self.dispositions.get(transid) != "aborted":
+            yield from self._write_completion(transid, "aborted")
+        self.aborts += 1
+        yield self.env.timeout(self.broadcaster.broadcast(transid, TxState.ABORTED))
+        yield from self._release_local(proc, record, committed=False)
+        for child in sorted(record.children):
+            self._queue_safe(child, TmpAbortRemote(transid, reason))
+        self._finish_settle(record, "aborted")
+        self._cleanup(record)
+        self._trace("abort", transid=str(transid), reason=reason)
+
+    def _write_completion(self, transid: Transid, disposition: str) -> Generator:
+        """Force a completion record to the Monitor Audit Trail."""
+        self.monitor_trail.append(CompletionRecord(transid, disposition))
+        self.dispositions[transid] = disposition
+        yield self.env.timeout(self.node_os.node.latencies.disc_write / 2)
+
+    def _release_local(self, proc: OsProcess, record: TransactionRecord, committed: bool) -> Generator:
+        for volume in sorted(record.local_volumes):
+            try:
+                yield from self.filesystem.send(
+                    proc,
+                    volume,
+                    ReleaseLocks(record.transid, committed=committed),
+                    timeout=5000.0,
+                )
+            except FileSystemError:
+                # Volume pair down — its locks died with it; recovery
+                # (ROLLFORWARD) rebuilds a lock-free volume.
+                continue
+
+    def _cleanup(self, record: TransactionRecord) -> None:
+        for audit_name in record.local_audit_processes:
+            audit_object = self.audit_objects.get(audit_name)
+            if audit_object is not None:
+                audit_object.forget_transaction(record.transid)
+        self._done_order.append(record.transid)
+        while len(self._done_order) > self.config.done_retention:
+            old = self._done_order.pop(0)
+            self.records.pop(old, None)
+
+    # ------------------------------------------------------------------
+    # Settling (one commit/abort decision per transaction)
+    # ------------------------------------------------------------------
+    def _settle_guard(self, record: TransactionRecord) -> Generator:
+        while record.settling:
+            yield from self._wait_settled(record)
+        if record.done is not None:
+            return False
+        record.settling = True
+        return True
+
+    def _wait_settled(self, record: TransactionRecord) -> Generator:
+        if record.settled_event is None or record.settled_event.processed:
+            record.settled_event = Event(self.env)
+        yield record.settled_event
+
+    def _finish_settle(self, record: TransactionRecord, done: str) -> None:
+        record.done = done
+        record.settling = False
+        event, record.settled_event = record.settled_event, None
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    # ------------------------------------------------------------------
+    # Total node failure
+    # ------------------------------------------------------------------
+    def reset_after_total_failure(self) -> None:
+        """Discard all in-memory state (every CPU's copy is gone).
+
+        Durable knowledge — the Monitor Audit Trail — is re-attached
+        from its disc volume; dispositions are rebuilt from it by
+        :meth:`repro.core.rollforward.Rollforward.rebuild_dispositions`.
+        """
+        self.records.clear()
+        self.dispositions.clear()
+        self._done_order.clear()
+        self._safe_queue.clear()
+        self._auto_aborts.clear()
+        self.monitor_trail.attach_existing(
+            AuditTrail.discover_file_names(
+                self.monitor_trail.volume, self.monitor_trail.prefix
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Automatic aborts and the background pump
+    # ------------------------------------------------------------------
+    def _on_cpu_failure(self, cpu) -> None:
+        """Queue automatic aborts for transactions begun in a failed CPU.
+
+        (Failures of *server* CPUs surface as SEND errors at the
+        requester, which aborts and restarts; §Transaction Management.)
+        """
+        for record in self.records.values():
+            if (
+                record.home
+                and record.done is None
+                and not record.settling
+                and record.origin_cpu == cpu.number
+            ):
+                self._auto_aborts.append(
+                    (record.transid, f"cpu {cpu.number} failed")
+                )
+
+    def _queue_safe(self, dest_node: str, payload: Any) -> None:
+        self._safe_queue.append((dest_node, payload))
+
+    def on_tmp_takeover(self) -> None:
+        """The TMP primary died: adopt its in-progress decisions.
+
+        Every transaction mid-commit/mid-abort at the moment of failure
+        is released from ``settling`` and queued for resolution: if its
+        commit record is durable it IS committed and phase two must be
+        completed; otherwise it is aborted — "the backup ... carr[ies]
+        through to completion any operation initiated by the primary".
+        """
+        for record in self.records.values():
+            if record.settling and record.done is None:
+                record.settling = False
+                event, record.settled_event = record.settled_event, None
+                if event is not None and not event.triggered:
+                    event.succeed()
+                self._interrupted.append(record.transid)
+
+    def _resolve_interrupted(self, proc: OsProcess, transid: Transid) -> Generator:
+        record = self.records.get(transid)
+        if record is None or record.done is not None or record.settling:
+            return
+        if self.dispositions.get(transid) == "committed":
+            proceed = yield from self._settle_guard(record)
+            if proceed:
+                yield from self._commit_tail(proc, record)
+        else:
+            yield from self.do_abort(
+                proc, transid, "coordinator failed during commit/abort"
+            )
+
+    def pump(self, proc: OsProcess) -> Generator:
+        """Background loop: safe-delivery retries, auto-aborts, sweep.
+
+        Runs as a sim process owned by the current TMP primary; dies
+        with its CPU and is restarted by the new primary.
+        """
+        while proc.alive:
+            # 0. Decisions interrupted by a TMP primary failure.
+            interrupted, self._interrupted = self._interrupted, []
+            for transid in interrupted:
+                yield from self._resolve_interrupted(proc, transid)
+            # 1. Queued automatic aborts.
+            aborts, self._auto_aborts = self._auto_aborts, []
+            for transid, reason in aborts:
+                record = self.records.get(transid)
+                if record is not None and record.done is None:
+                    yield from self.do_abort(proc, transid, reason)
+            # 2. Safe-delivery retries ("the sending of safe-delivery
+            #    messages — whenever transmission becomes possible — is
+            #    guaranteed").
+            queue, self._safe_queue = self._safe_queue, []
+            for dest_node, payload in queue:
+                try:
+                    yield from self.filesystem.send(
+                        proc,
+                        f"\\{dest_node}.{self.tmp_name}",
+                        payload,
+                        timeout=self.config.phase1_timeout,
+                    )
+                except FileSystemError:
+                    self._safe_queue.append((dest_node, payload))
+            # 3. Unilateral-abort sweep: a non-home node that has not yet
+            #    acked phase 1 aborts transactions whose parent became
+            #    unreachable ("complete loss of communication with a
+            #    network node which participated in the transaction").
+            for record in list(self.records.values()):
+                if (
+                    not record.home
+                    and record.done is None
+                    and not record.settling
+                    and not record.phase1_acked
+                    and record.parent is not None
+                    and not self.node_os.message_system.reachable(
+                        self.node_name, record.parent
+                    )
+                ):
+                    yield from self.do_abort(
+                        proc,
+                        record.transid,
+                        f"lost communication with {record.parent}",
+                    )
+            yield self.env.timeout(self.config.safe_retry_interval)
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now, kind, node=self.node_name, **fields)

@@ -1,0 +1,232 @@
+"""A data-definition language for the data dictionary.
+
+"The data base management component of ENCOMPASS provides a data
+definition language, a data dictionary, ..." (§Data Base Management).
+This module is the textual front end to :class:`FileSchema`: DDL text is
+parsed into schemas and installed into a :class:`DataDictionary`.
+
+Syntax (one statement per ``DEFINE ... ;`` block, ``--`` comments)::
+
+    DEFINE FILE account
+        ORGANIZATION key-sequenced
+        KEY (account_id)
+        ALTERNATE KEY (branch_id)
+        AUDITED
+        PARTITION ON alpha.$data
+        PARTITION ON beta.$data FROM (100)
+        SECURE READ "alpha.*" WRITE "alpha.$bank-*";
+
+    DEFINE FILE history
+        ORGANIZATION entry-sequenced
+        AUDITED
+        PARTITION ON alpha.$data;
+
+Organizations: ``key-sequenced`` (requires KEY), ``relative``,
+``entry-sequenced``.  ``FROM (v [, v ...])`` gives a partition's
+inclusive low key; the first partition must omit it.  Key-component
+literals are integers or ``"strings"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from .client import DataDictionary
+from .records import (
+    ENTRY_SEQUENCED,
+    KEY_SEQUENCED,
+    RELATIVE,
+    FileSchema,
+    PartitionSpec,
+    SecuritySpec,
+)
+
+__all__ = ["DdlError", "parse_ddl", "install_ddl"]
+
+_ORGANIZATIONS = {
+    "key-sequenced": KEY_SEQUENCED,
+    "relative": RELATIVE,
+    "entry-sequenced": ENTRY_SEQUENCED,
+}
+
+
+class DdlError(Exception):
+    """A data-definition statement could not be parsed."""
+
+
+_TOKEN = re.compile(
+    r"""\s*(
+        "(?:[^"\\]|\\.)*"   |   # string literal
+        \( | \) | , | ;     |
+        [A-Za-z_][\w.\$\-]* |   # identifier (may contain . and $)
+        \$[\w\-]+           |   # volume name
+        -?\d+
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> List[str]:
+    text = re.sub(r"--[^\n]*", "", source)
+    tokens, position = [], 0
+    text = text.strip()
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise DdlError(f"cannot tokenize near: {text[position:position + 30]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    def peek(self) -> Optional[str]:
+        if self.done:
+            return None
+        return self.tokens[self.position]
+
+    def next(self) -> str:
+        if self.done:
+            raise DdlError("unexpected end of DDL")
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, *words: str) -> str:
+        token = self.next()
+        if token.upper() not in words:
+            raise DdlError(f"expected {' / '.join(words)}, got {token!r}")
+        return token
+
+    def accept(self, word: str) -> bool:
+        if not self.done and self.tokens[self.position].upper() == word:
+            self.position += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse_statements(self) -> List[FileSchema]:
+        schemas = []
+        while not self.done:
+            schemas.append(self.parse_define())
+        return schemas
+
+    def parse_define(self) -> FileSchema:
+        self.expect("DEFINE")
+        self.expect("FILE")
+        name = self.next()
+        organization: Optional[str] = None
+        primary_key: Tuple[str, ...] = ()
+        alternate_keys: List[str] = []
+        audited = False
+        partitions: List[PartitionSpec] = []
+        security = SecuritySpec()
+        while True:
+            token = self.next()
+            upper = token.upper()
+            if upper == ";":
+                break
+            if upper == "ORGANIZATION":
+                organization_word = self.next().lower()
+                if organization_word not in _ORGANIZATIONS:
+                    raise DdlError(f"unknown organization {organization_word!r}")
+                organization = _ORGANIZATIONS[organization_word]
+            elif upper == "KEY":
+                primary_key = tuple(self._parse_name_list())
+            elif upper == "ALTERNATE":
+                self.expect("KEY")
+                alternate_keys.extend(self._parse_name_list())
+            elif upper == "AUDITED":
+                audited = True
+            elif upper == "PARTITION":
+                self.expect("ON")
+                location = self.next()
+                if "." not in location:
+                    raise DdlError(
+                        f"partition location must be node.volume, got {location!r}"
+                    )
+                node, _, volume = location.partition(".")
+                low_key: Optional[Tuple[Any, ...]] = None
+                if self.accept("FROM"):
+                    low_key = tuple(self._parse_literal_list())
+                partitions.append(PartitionSpec(node, volume, low_key=low_key))
+            elif upper == "SECURE":
+                read = ("*",)
+                write = ("*",)
+                while self.peek() and self.peek().upper() in ("READ", "WRITE"):
+                    which = self.next().upper()
+                    patterns = [self._parse_string()]
+                    while self.accept(","):
+                        patterns.append(self._parse_string())
+                    if which == "READ":
+                        read = tuple(patterns)
+                    else:
+                        write = tuple(patterns)
+                security = SecuritySpec(read=read, write=write)
+            else:
+                raise DdlError(f"unknown DDL clause {token!r}")
+        if organization is None:
+            raise DdlError(f"{name}: ORGANIZATION is required")
+        return FileSchema(
+            name=name,
+            organization=organization,
+            primary_key=primary_key,
+            alternate_keys=tuple(alternate_keys),
+            audited=audited,
+            partitions=tuple(partitions),
+            security=security,
+        )
+
+    # ------------------------------------------------------------------
+    def _parse_name_list(self) -> List[str]:
+        self.expect("(")
+        names = [self.next()]
+        while self.accept(","):
+            names.append(self.next())
+        self.expect(")")
+        return names
+
+    def _parse_literal_list(self) -> List[Any]:
+        self.expect("(")
+        values = [self._parse_literal()]
+        while self.accept(","):
+            values.append(self._parse_literal())
+        self.expect(")")
+        return values
+
+    def _parse_literal(self) -> Any:
+        token = self.next()
+        if token.startswith('"'):
+            return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        try:
+            return int(token)
+        except ValueError:
+            raise DdlError(f"bad literal {token!r}") from None
+
+    def _parse_string(self) -> str:
+        token = self.next()
+        if not token.startswith('"'):
+            raise DdlError(f"expected a quoted pattern, got {token!r}")
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_ddl(source: str) -> List[FileSchema]:
+    """Parse DDL text into file schemas (validated by FileSchema)."""
+    return _Parser(_tokenize(source)).parse_statements()
+
+
+def install_ddl(source: str, dictionary: DataDictionary) -> List[FileSchema]:
+    """Parse DDL and define every file in the dictionary."""
+    schemas = parse_ddl(source)
+    for schema in schemas:
+        dictionary.define(schema)
+    return schemas

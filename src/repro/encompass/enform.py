@@ -1,0 +1,297 @@
+"""A non-procedural relational query/report language (ENFORM's role).
+
+The ENCOMPASS data-base management component includes "a relational
+data base manager, and a high-level non-procedural relational
+query/report language" (paper, §Data Base Management).  This module
+provides that last piece for the reproduction: a small declarative
+language compiled to an access plan and executed through the record
+interface (browse access — queries take no locks, per the paper's
+treatment of reads).
+
+Language (one clause per line, order free except FROM first):
+
+    FROM <file>
+    SELECT <field> [, <field> ...] | *
+    WHERE <field> <op> <literal> [AND <field> <op> <literal> ...]
+    ORDER BY <field> [DESC]
+    TOTAL <field> [, <field> ...]        -- sum aggregates
+    COUNT                                 -- row count aggregate
+    FIRST <n>                             -- limit
+
+Operators: = <> < <= > >=.  Literals: integers or "strings".
+
+The compiler is an honest little optimizer: an equality on an alternate
+key uses the index; a conjunction constraining a prefix of the primary
+key becomes a B-tree range scan; anything else is a full scan.  The
+chosen plan is reported in the result so callers (and tests) can see
+which access path ran.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..discprocess import FileClient, KEY_SEQUENCED
+from ..discprocess.records import FileSchema
+
+__all__ = ["EnformError", "Query", "QueryResult", "compile_query"]
+
+
+class EnformError(Exception):
+    """Parse or execution error in a query."""
+
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_CONDITION = re.compile(
+    r"""^\s*([A-Za-z_]\w*)\s*(<=|>=|<>|=|<|>)\s*
+        ("(?:[^"\\]|\\.)*"|-?\d+)\s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Condition:
+    field: str
+    operator: str
+    value: Any
+
+    def matches(self, record: Dict[str, Any]) -> bool:
+        if self.field not in record:
+            return False
+        try:
+            return _OPERATORS[self.operator](record[self.field], self.value)
+        except TypeError:
+            return False
+
+
+@dataclass
+class Query:
+    """A compiled query: clauses plus the chosen access plan."""
+
+    file: str
+    select: Optional[List[str]]           # None = *
+    conditions: List[Condition]
+    order_by: Optional[str]
+    order_desc: bool
+    totals: List[str]
+    count: bool
+    first: Optional[int]
+    plan: str = "full-scan"
+    plan_detail: str = ""
+    plan_args: Tuple[Any, ...] = ()
+
+    # ------------------------------------------------------------------
+    def execute(self, proc: Any, client: FileClient) -> Generator:
+        """Run the query; returns a :class:`QueryResult`.
+
+        (Generator helper — ``result = yield from query.execute(...)``.)
+        """
+        schema = client.dictionary.schema(self.file)
+        rows = yield from self._fetch(proc, client, schema)
+        rows = [record for record in rows
+                if all(condition.matches(record) for condition in self.conditions)]
+        if self.order_by is not None:
+            missing = [r for r in rows if self.order_by not in r]
+            if missing:
+                raise EnformError(f"ORDER BY field {self.order_by!r} absent")
+            rows.sort(key=lambda r: r[self.order_by], reverse=self.order_desc)
+        if self.first is not None:
+            rows = rows[: self.first]
+        totals = {}
+        for name in self.totals:
+            try:
+                totals[name] = sum(record[name] for record in rows)
+            except (KeyError, TypeError) as exc:
+                raise EnformError(f"TOTAL {name}: {exc}") from exc
+        projected = rows
+        if self.select is not None:
+            projected = []
+            for record in rows:
+                try:
+                    projected.append({name: record[name] for name in self.select})
+                except KeyError as exc:
+                    raise EnformError(f"SELECT field {exc} absent") from exc
+        return QueryResult(
+            rows=projected,
+            totals=totals,
+            count=len(rows) if self.count else None,
+            plan=self.plan,
+            plan_detail=self.plan_detail,
+        )
+
+    def _fetch(self, proc: Any, client: FileClient, schema: FileSchema) -> Generator:
+        """Run the access plan chosen at compile time."""
+        if self.plan == "index-lookup":
+            field_name, value = self.plan_args
+            records = yield from client.read_via_index(
+                proc, self.file, field_name, value
+            )
+            return records
+        if self.plan == "key-range":
+            low, high = self.plan_args
+            rows = yield from client.scan(proc, self.file, low=low, high=high)
+            return [record for _key, record in rows]
+        if schema.organization == KEY_SEQUENCED:
+            rows = yield from client.scan(proc, self.file)
+            return [record for _key, record in rows]
+        if schema.organization == "entry-sequenced":
+            rows = yield from client.scan_entries(proc, self.file)
+            return [record for _esn, record in rows]
+        raise EnformError(
+            f"{self.file}: relative files are not reportable (no key order)"
+        )
+
+
+@dataclass
+class QueryResult:
+    rows: List[Dict[str, Any]]
+    totals: Dict[str, Any]
+    count: Optional[int]
+    plan: str
+    plan_detail: str
+
+    def render(self) -> str:
+        """A fixed-width report (the 'report' half of query/report)."""
+        lines: List[str] = []
+        if self.rows:
+            headers = list(self.rows[0].keys())
+            widths = [
+                max(len(h), *(len(str(r.get(h, ""))) for r in self.rows))
+                for h in headers
+            ]
+            lines.append("  ".join(h.upper().ljust(w) for h, w in zip(headers, widths)))
+            lines.append("  ".join("-" * w for w in widths))
+            for record in self.rows:
+                lines.append(
+                    "  ".join(str(record.get(h, "")).ljust(w)
+                              for h, w in zip(headers, widths))
+                )
+        for name, value in self.totals.items():
+            lines.append(f"TOTAL {name.upper()}: {value}")
+        if self.count is not None:
+            lines.append(f"COUNT: {self.count}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+def _parse_literal(text: str) -> Any:
+    if text.startswith('"'):
+        return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    return int(text)
+
+
+def compile_query(source: str, dictionary: Any) -> Query:
+    """Parse and plan a query against the data dictionary."""
+    clauses: Dict[str, str] = {}
+    for raw_line in source.strip().splitlines():
+        line = raw_line.strip().rstrip(";")
+        if not line or line.startswith("--"):
+            continue
+        upper = line.upper()
+        for keyword in ("FROM", "SELECT", "WHERE", "ORDER BY", "TOTAL",
+                        "COUNT", "FIRST"):
+            if upper.startswith(keyword):
+                if keyword in clauses:
+                    raise EnformError(f"duplicate {keyword} clause")
+                clauses[keyword] = line[len(keyword):].strip()
+                break
+        else:
+            raise EnformError(f"unknown clause: {line!r}")
+    if "FROM" not in clauses:
+        raise EnformError("a query needs a FROM clause")
+    file_name = clauses["FROM"]
+    schema = dictionary.schema(file_name)
+
+    select: Optional[List[str]] = None
+    if "SELECT" in clauses and clauses["SELECT"] != "*":
+        select = [part.strip() for part in clauses["SELECT"].split(",")]
+        if not all(select):
+            raise EnformError("empty field in SELECT")
+
+    conditions: List[Condition] = []
+    if "WHERE" in clauses:
+        for part in re.split(r"\bAND\b", clauses["WHERE"], flags=re.IGNORECASE):
+            match = _CONDITION.match(part)
+            if match is None:
+                raise EnformError(f"bad condition: {part.strip()!r}")
+            field_name, operator, literal = match.groups()
+            conditions.append(
+                Condition(field_name, operator, _parse_literal(literal))
+            )
+
+    order_by: Optional[str] = None
+    order_desc = False
+    if "ORDER BY" in clauses:
+        parts = clauses["ORDER BY"].split()
+        order_by = parts[0]
+        order_desc = len(parts) > 1 and parts[1].upper() == "DESC"
+
+    totals = []
+    if "TOTAL" in clauses:
+        totals = [part.strip() for part in clauses["TOTAL"].split(",")]
+    count = "COUNT" in clauses
+    first = int(clauses["FIRST"]) if "FIRST" in clauses else None
+
+    query = Query(
+        file=file_name,
+        select=select,
+        conditions=conditions,
+        order_by=order_by,
+        order_desc=order_desc,
+        totals=totals,
+        count=count,
+        first=first,
+    )
+    _plan(query, schema)
+    return query
+
+
+def _plan(query: Query, schema: FileSchema) -> None:
+    """Choose the access path: index, primary-key range, or full scan."""
+    query.plan = "full-scan"
+    query.plan_detail = f"scan {schema.name}"
+    query.plan_args = ()
+    if schema.organization != KEY_SEQUENCED:
+        return
+    # 1. Equality on an alternate key -> index lookup.
+    for condition in query.conditions:
+        if condition.operator == "=" and condition.field in schema.alternate_keys:
+            query.plan = "index-lookup"
+            query.plan_detail = f"alternate key {condition.field}"
+            query.plan_args = (condition.field, condition.value)
+            return
+    # 2. Conditions constraining the first primary-key field -> range.
+    if len(schema.primary_key) >= 1:
+        key_field = schema.primary_key[0]
+        low = high = None
+        for condition in query.conditions:
+            if condition.field != key_field:
+                continue
+            if condition.operator == "=":
+                low = high = condition.value
+                break
+            if condition.operator in (">", ">="):
+                bound = condition.value if condition.operator == ">=" else condition.value
+                low = bound if low is None else max(low, bound)
+            if condition.operator in ("<", "<="):
+                bound = condition.value
+                high = bound if high is None else min(high, bound)
+        if low is not None or high is not None:
+            query.plan = "key-range"
+            query.plan_detail = f"primary key {key_field} in [{low}, {high}]"
+            query.plan_args = (
+                (low,) if low is not None else None,
+                (high,) if high is not None else None,
+            )

@@ -1,0 +1,374 @@
+"""A miniature Screen-COBOL-like language for requester programs.
+
+The paper's application interface is Screen COBOL: "a COBOL-like
+language with extensions for screen handling", interpreted by the TCP,
+whose transaction verbs are BEGIN-TRANSACTION / END-TRANSACTION /
+ABORT-TRANSACTION / RESTART-TRANSACTION and SEND.  This module provides
+a small textual language in that spirit so requesters can be written as
+data rather than Python — and compiles a program to the generator form
+the TCP runs.
+
+Grammar (line-oriented; ``*`` starts a comment):
+
+    PROGRAM <name>.
+    MOVE <expr> TO <var>.
+    ADD <expr> TO <var>.
+    SUBTRACT <expr> FROM <var>.
+    SEND <expr> TO <server-expr>.            * reply lands in REPLY
+    IF <expr> <op> <expr> THEN ... [ELSE ...] END-IF.
+    WHILE <expr> <op> <expr> DO ... END-WHILE.
+    DISPLAY <expr> [<expr> ...].
+    ABORT-TRANSACTION [<expr>].
+    RESTART-TRANSACTION [<expr>].
+    RETURN <expr>.
+
+The TCP supplies BEGIN/END-TRANSACTION around the whole program (one
+input screen = one logical transaction), exactly as it does for Python
+screen programs.
+
+Expressions: integer/string literals, variable names, dotted paths into
+dict values (``INPUT.amount``, ``REPLY.balance``), and ``{...}`` record
+constructors with expression values.  Comparison operators: ``=``,
+``<>``, ``<``, ``<=``, ``>``, ``>=``.
+
+Predefined variables: ``INPUT`` (the terminal input record), ``REPLY``
+(last SEND reply), ``TRANSACTIONID`` (the special register),
+``ATTEMPT`` (restart count of this unit).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Generator, List, Tuple
+
+from .verbs import ScreenContext
+
+__all__ = ["ScobolError", "ScobolProgram", "compile_program"]
+
+
+class ScobolError(Exception):
+    """A parse or runtime error in a Screen-COBOL-like program."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"     |   # string literal
+        \{ | \} | : | ,       |   # record constructor punctuation
+        <> | <= | >= | [=<>]  |   # comparison operators
+        -?\d+                 |   # integer
+        [A-Za-z][\w.\-]*          # identifier / dotted path
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    out, position = [], 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise ScobolError(f"cannot tokenize: {text[position:]!r}")
+        out.append(match.group(1))
+        position = match.end()
+    return out
+
+
+class _Expr:
+    """A parsed expression: literal, variable path, or record."""
+
+    def __init__(self, kind: str, value: Any):
+        self.kind = kind   # lit | path | record
+        self.value = value
+
+    def evaluate(self, variables: Dict[str, Any]) -> Any:
+        if self.kind == "lit":
+            return self.value
+        if self.kind == "path":
+            parts = self.value.split(".")
+            current: Any = variables
+            for index, part in enumerate(parts):
+                if index == 0:
+                    if part not in variables:
+                        raise ScobolError(f"undefined variable {part!r}")
+                    current = variables[part]
+                elif isinstance(current, dict):
+                    if part not in current:
+                        raise ScobolError(f"no field {part!r} in {parts[0]}")
+                    current = current[part]
+                else:
+                    raise ScobolError(f"{'.'.join(parts[:index])} is not a record")
+            return current
+        # record constructor
+        return {
+            name: expr.evaluate(variables) for name, expr in self.value
+        }
+
+
+def _parse_expr(tokens: List[str], position: int) -> Tuple[_Expr, int]:
+    token = tokens[position]
+    if token.startswith('"'):
+        text = token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        return _Expr("lit", text), position + 1
+    if re.fullmatch(r"-?\d+", token):
+        return _Expr("lit", int(token)), position + 1
+    if token == "{":
+        fields: List[Tuple[str, _Expr]] = []
+        position += 1
+        while tokens[position] != "}":
+            name = tokens[position]
+            if tokens[position + 1] != ":":
+                raise ScobolError(f"expected ':' after field {name!r}")
+            value, position = _parse_expr(tokens, position + 2)
+            fields.append((name, value))
+            if tokens[position] == ",":
+                position += 1
+        return _Expr("record", fields), position + 1
+    if re.fullmatch(r"[A-Za-z][\w.\-]*", token):
+        return _Expr("path", token), position + 1
+    raise ScobolError(f"unexpected token {token!r} in expression")
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class _Statement:
+    def __init__(self, op: str, **fields: Any):
+        self.op = op
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.op} {self.fields}>"
+
+
+def _split_statements(source: str) -> List[str]:
+    """One statement per line; drop comments/blanks.
+
+    Simple statements end with '.'; block headers (IF ... THEN,
+    WHILE ... DO, ELSE) may omit it, COBOL-sentence style.
+    """
+    statements: List[str] = []
+    buffer = ""
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("*"):
+            continue
+        buffer = f"{buffer} {line}".strip() if buffer else line
+        upper = buffer.upper()
+        if buffer.endswith("."):
+            statements.append(buffer[:-1].strip())
+            buffer = ""
+        elif upper.endswith("THEN") or upper.endswith("DO") or upper == "ELSE":
+            statements.append(buffer)
+            buffer = ""
+        # otherwise: continuation — accumulate until a terminator
+    if buffer:
+        raise ScobolError(f"statement must end with '.': {buffer!r}")
+    return statements
+
+
+def _parse_block(lines: List[str], index: int, terminators: Tuple[str, ...]) -> Tuple[List[_Statement], int]:
+    block: List[_Statement] = []
+    while index < len(lines):
+        line = lines[index]
+        upper = line.upper()
+        if upper in terminators or upper.split()[0] in terminators:
+            return block, index
+        statement, index = _parse_statement(lines, index)
+        block.append(statement)
+    if terminators != ("<eof>",):
+        raise ScobolError(f"missing {' / '.join(terminators)}")
+    return block, index
+
+
+def _parse_statement(lines: List[str], index: int) -> Tuple[_Statement, int]:
+    line = lines[index]
+    tokens = _tokenize(line)
+    head = tokens[0].upper()
+
+    if head == "MOVE":
+        expr, position = _parse_expr(tokens, 1)
+        if tokens[position].upper() != "TO":
+            raise ScobolError(f"MOVE: expected TO in {line!r}")
+        return _Statement("move", expr=expr, target=tokens[position + 1]), index + 1
+    if head == "ADD":
+        expr, position = _parse_expr(tokens, 1)
+        if tokens[position].upper() != "TO":
+            raise ScobolError(f"ADD: expected TO in {line!r}")
+        return _Statement("add", expr=expr, target=tokens[position + 1]), index + 1
+    if head == "SUBTRACT":
+        expr, position = _parse_expr(tokens, 1)
+        if tokens[position].upper() != "FROM":
+            raise ScobolError(f"SUBTRACT: expected FROM in {line!r}")
+        return _Statement("sub", expr=expr, target=tokens[position + 1]), index + 1
+    if head == "SEND":
+        expr, position = _parse_expr(tokens, 1)
+        if tokens[position].upper() != "TO":
+            raise ScobolError(f"SEND: expected TO in {line!r}")
+        server, position = _parse_expr(tokens, position + 1)
+        return _Statement("send", payload=expr, server=server), index + 1
+    if head == "DISPLAY":
+        exprs = []
+        position = 1
+        while position < len(tokens):
+            expr, position = _parse_expr(tokens, position)
+            exprs.append(expr)
+        return _Statement("display", exprs=exprs), index + 1
+    if head == "ABORT-TRANSACTION":
+        reason = None
+        if len(tokens) > 1:
+            reason, _ = _parse_expr(tokens, 1)
+        return _Statement("abort", reason=reason), index + 1
+    if head == "RESTART-TRANSACTION":
+        reason = None
+        if len(tokens) > 1:
+            reason, _ = _parse_expr(tokens, 1)
+        return _Statement("restart", reason=reason), index + 1
+    if head == "RETURN":
+        expr, _ = _parse_expr(tokens, 1)
+        return _Statement("return", expr=expr), index + 1
+    if head == "IF":
+        left, position = _parse_expr(tokens, 1)
+        comparator = tokens[position]
+        if comparator not in _COMPARATORS:
+            raise ScobolError(f"IF: bad comparator {comparator!r}")
+        right, position = _parse_expr(tokens, position + 1)
+        if position < len(tokens) and tokens[position].upper() == "THEN":
+            position += 1
+        if position != len(tokens):
+            raise ScobolError(f"IF: trailing tokens in {line!r}")
+        then_block, index = _parse_block(lines, index + 1, ("ELSE", "END-IF"))
+        else_block: List[_Statement] = []
+        if lines[index].upper() == "ELSE":
+            else_block, index = _parse_block(lines, index + 1, ("END-IF",))
+        return _Statement(
+            "if", left=left, comparator=comparator, right=right,
+            then_block=then_block, else_block=else_block,
+        ), index + 1
+    if head == "WHILE":
+        left, position = _parse_expr(tokens, 1)
+        comparator = tokens[position]
+        if comparator not in _COMPARATORS:
+            raise ScobolError(f"WHILE: bad comparator {comparator!r}")
+        right, position = _parse_expr(tokens, position + 1)
+        if position < len(tokens) and tokens[position].upper() == "DO":
+            position += 1
+        body, index = _parse_block(lines, index + 1, ("END-WHILE",))
+        return _Statement(
+            "while", left=left, comparator=comparator, right=right, body=body
+        ), index + 1
+    raise ScobolError(f"unknown statement {line!r}")
+
+
+# ---------------------------------------------------------------------------
+# The compiled program
+# ---------------------------------------------------------------------------
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class ScobolProgram:
+    """A compiled program, callable as a TCP screen program."""
+
+    MAX_STEPS = 100_000  # runaway-loop guard
+
+    def __init__(self, name: str, statements: List[_Statement], source: str):
+        self.name = name
+        self.statements = statements
+        self.source = source
+
+    def __call__(self, ctx: ScreenContext, data: Any) -> Generator:
+        variables: Dict[str, Any] = {
+            "INPUT": data,
+            "REPLY": {},
+            "TRANSACTIONID": str(ctx.transaction_id),
+            "ATTEMPT": ctx.attempt,
+        }
+        self._steps = 0
+        try:
+            result = yield from self._run_block(ctx, self.statements, variables)
+        except _Return as ret:
+            return ret.value
+        return result
+
+    def _run_block(self, ctx: ScreenContext, block: List[_Statement], variables: Dict[str, Any]) -> Generator:
+        result = None
+        for statement in block:
+            self._steps += 1
+            if self._steps > self.MAX_STEPS:
+                raise ScobolError(f"{self.name}: step limit exceeded")
+            op = statement.op
+            fields = statement.fields
+            if op == "move":
+                variables[fields["target"]] = fields["expr"].evaluate(variables)
+            elif op == "add":
+                target = fields["target"]
+                variables[target] = variables.get(target, 0) + fields["expr"].evaluate(variables)
+            elif op == "sub":
+                target = fields["target"]
+                variables[target] = variables.get(target, 0) - fields["expr"].evaluate(variables)
+            elif op == "send":
+                payload = fields["payload"].evaluate(variables)
+                server = fields["server"].evaluate(variables)
+                reply = yield from ctx.send_ok(server, payload)
+                variables["REPLY"] = reply
+            elif op == "display":
+                ctx.display(" ".join(
+                    str(expr.evaluate(variables)) for expr in fields["exprs"]
+                ))
+            elif op == "abort":
+                reason = fields["reason"]
+                ctx.abort_transaction(
+                    str(reason.evaluate(variables)) if reason else "abort-transaction"
+                )
+            elif op == "restart":
+                reason = fields["reason"]
+                ctx.restart_transaction(
+                    str(reason.evaluate(variables)) if reason else "restart-transaction"
+                )
+            elif op == "return":
+                raise _Return(fields["expr"].evaluate(variables))
+            elif op == "if":
+                comparator = _COMPARATORS[fields["comparator"]]
+                if comparator(
+                    fields["left"].evaluate(variables),
+                    fields["right"].evaluate(variables),
+                ):
+                    result = yield from self._run_block(ctx, fields["then_block"], variables)
+                else:
+                    result = yield from self._run_block(ctx, fields["else_block"], variables)
+            elif op == "while":
+                comparator = _COMPARATORS[fields["comparator"]]
+                while comparator(
+                    fields["left"].evaluate(variables),
+                    fields["right"].evaluate(variables),
+                ):
+                    self._steps += 1
+                    if self._steps > self.MAX_STEPS:
+                        raise ScobolError(f"{self.name}: step limit exceeded")
+                    result = yield from self._run_block(ctx, fields["body"], variables)
+            else:  # pragma: no cover - parser guarantees coverage
+                raise ScobolError(f"unknown op {op}")
+        return result
+
+
+def compile_program(source: str) -> ScobolProgram:
+    """Compile source text to a TCP-runnable :class:`ScobolProgram`."""
+    lines = _split_statements(source)
+    if not lines or not lines[0].upper().startswith("PROGRAM"):
+        raise ScobolError("source must start with 'PROGRAM <name>.'")
+    name = lines[0].split(None, 1)[1] if len(lines[0].split()) > 1 else "anonymous"
+    statements, index = _parse_block(lines[1:], 0, ("<eof>",))
+    return ScobolProgram(name, statements, source)

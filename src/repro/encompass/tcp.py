@@ -1,0 +1,353 @@
+"""The Terminal Control Process (TCP).
+
+"A TCP controls up to 32 terminals ... The user's Screen COBOL program
+is interpreted by the TCP to perform screen sequencing, data mapping,
+and field validation for a single terminal ... TCP's are configured as
+process-pairs.  As a result ... the terminal user has continuous access
+to the executing Screen COBOL program despite module failure."
+(paper, §Terminal Management)
+
+Here a *screen program* is a Python generator function
+``program(ctx, input_data)`` (see :mod:`repro.encompass.verbs`), and one
+terminal input runs one *logical transaction unit*:
+
+* the TCP brackets the unit in BEGIN-TRANSACTION / END-TRANSACTION;
+* any failure except an explicit ABORT-TRANSACTION backs the unit out
+  and re-runs it from BEGIN-TRANSACTION, up to the configurable
+  *transaction restart limit* — with the input screen data already
+  checkpointed, so the restart "may not require re-entering the input
+  screen(s)";
+* a TCP primary failure kills in-flight units; TMF automatically backs
+  out their transactions (BEGIN ran in the failed CPU), and the File
+  System's retry re-runs the unit at the new primary, where completed
+  units answer from the checkpointed reply instead of re-executing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..core import TmfNode, TransactionAborted
+from ..guardian import (
+    ConcurrentPair,
+    FileSystem,
+    FileSystemError,
+    Message,
+    NodeOs,
+    OsProcess,
+)
+from ..sim import Tracer
+from .server import ServerClass
+from .verbs import (
+    AbortTransaction,
+    RestartTransaction,
+    ScreenContext,
+)
+
+__all__ = ["ScreenField", "TerminalInput", "TerminalControlProcess"]
+
+ScreenProgram = Callable[[ScreenContext, Any], Generator]
+
+
+@dataclass(frozen=True)
+class TerminalInput:
+    """One filled-in input screen arriving from a terminal."""
+
+    terminal_id: str
+    data: Any
+
+
+@dataclass(frozen=True)
+class ScreenField:
+    """One validated field of an input screen.
+
+    The TCP performs "screen formatting, data validation ... and field
+    validation for a single terminal" (§Terminal Management): an input
+    failing validation is rejected at the TCP, before any transaction
+    begins or any server is bothered.
+    """
+
+    name: str
+    kind: str = "str"                  # str | int
+    required: bool = True
+    minimum: Optional[int] = None      # for int fields
+    maximum: Optional[int] = None
+    choices: Optional[Tuple[Any, ...]] = None
+    max_length: Optional[int] = None   # for str fields
+
+    def validate(self, data: Dict[str, Any]) -> Optional[str]:
+        """None if valid, else a field-error message."""
+        if self.name not in data or data[self.name] is None:
+            return f"{self.name}: required" if self.required else None
+        value = data[self.name]
+        if self.kind == "int":
+            if not isinstance(value, int) or isinstance(value, bool):
+                return f"{self.name}: must be numeric"
+            if self.minimum is not None and value < self.minimum:
+                return f"{self.name}: below minimum {self.minimum}"
+            if self.maximum is not None and value > self.maximum:
+                return f"{self.name}: above maximum {self.maximum}"
+        elif self.kind == "str":
+            if not isinstance(value, str):
+                return f"{self.name}: must be text"
+            if self.max_length is not None and len(value) > self.max_length:
+                return f"{self.name}: longer than {self.max_length}"
+        if self.choices is not None and value not in self.choices:
+            return f"{self.name}: not one of {self.choices}"
+        return None
+
+
+class TerminalControlProcess(ConcurrentPair):
+    """A fault-tolerant TCP pair running screen programs."""
+
+    MAX_TERMINALS = 32
+
+    def __init__(
+        self,
+        node_os: NodeOs,
+        name: str,
+        primary_cpu: int,
+        backup_cpu: int,
+        filesystem: FileSystem,
+        tmf: TmfNode,
+        programs: Optional[Dict[str, ScreenProgram]] = None,
+        server_classes: Optional[Dict[str, ServerClass]] = None,
+        restart_limit: int = 5,
+        restart_delay: float = 20.0,
+        send_timeout: float = 30_000.0,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.filesystem = filesystem
+        self.tmf = tmf
+        self.programs: Dict[str, ScreenProgram] = dict(programs or {})
+        self.screens: Dict[str, Tuple[ScreenField, ...]] = {}
+        self.server_classes: Dict[str, ServerClass] = dict(server_classes or {})
+        self.terminals: Dict[str, str] = {}
+        self.restart_limit = restart_limit
+        self.restart_delay = restart_delay
+        self.send_timeout = send_timeout
+        self.units_committed = 0
+        self.units_aborted = 0
+        self.restarts_total = 0
+        super().__init__(node_os, name, primary_cpu, backup_cpu, tracer)
+        self._apply_state_defaults()
+        self._completed_order: List[int] = []
+
+    def state_defaults(self) -> Dict[str, Any]:
+        return {"completed": {}, "inputs": {}, "pending_commit": {}}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_program(
+        self,
+        name: str,
+        program: ScreenProgram,
+        screen: Optional[Tuple[ScreenField, ...]] = None,
+    ) -> None:
+        self.programs[name] = program
+        if screen is not None:
+            self.screens[name] = tuple(screen)
+
+    def add_server_class(self, server_class: ServerClass) -> None:
+        self.server_classes[server_class.name] = server_class
+
+    def add_terminal(self, terminal_id: str, program_name: str) -> None:
+        """Attach a terminal running ``program_name``."""
+        if len(self.terminals) >= self.MAX_TERMINALS:
+            raise RuntimeError(f"{self.name}: a TCP controls up to 32 terminals")
+        if program_name not in self.programs:
+            raise KeyError(f"{self.name}: unknown screen program {program_name!r}")
+        self.terminals[terminal_id] = program_name
+
+    def resolve_server(self, server: str) -> str:
+        """Class name -> a live instance; plain names pass through."""
+        server_class = self.server_classes.get(server)
+        if server_class is None:
+            return server
+        instance = server_class.pick_instance()
+        if instance is None:
+            return server  # no live instance: the send will surface it
+        return instance
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def serve_request(self, proc: OsProcess, message: Message) -> Generator:
+        payload = message.payload
+        if not isinstance(payload, TerminalInput):
+            proc.reply(message, {"ok": False, "error": "bad_request"})
+            return
+        recorded = self.state["completed"].get(message.msg_id)
+        if recorded is not None:
+            # The unit already committed before the old primary died; do
+            # not run the transaction twice.
+            proc.reply(message, recorded)
+            return
+        if payload.terminal_id not in self.terminals:
+            proc.reply(message, {"ok": False, "error": "unknown_terminal"})
+            return
+        # Field validation happens at the TCP, before BEGIN-TRANSACTION.
+        screen = self.screens.get(self.terminals[payload.terminal_id])
+        if screen is not None:
+            errors = [
+                error
+                for field in screen
+                for error in [field.validate(payload.data or {})]
+                if error is not None
+            ]
+            if errors:
+                proc.reply(
+                    message,
+                    {"ok": False, "error": "field_errors", "fields": errors},
+                )
+                return
+        # A retried unit whose predecessor died between END-TRANSACTION
+        # and the completed-reply checkpoint: resolve the in-doubt
+        # transid with the TMP before deciding to re-run.
+        pending = self.state["pending_commit"].get(message.msg_id)
+        if pending is not None:
+            resolved = yield from self._resolve_pending(proc, message, pending)
+            if resolved is not None:
+                proc.reply(message, resolved)
+                return
+        # Checkpoint the input screen data: a takeover restart of this
+        # unit will not require re-entering the screen.
+        yield from self.checkpoint_update(
+            "inputs", updates={message.msg_id: payload}
+        )
+        result = yield from self._run_unit(proc, message, payload)
+        yield from self.checkpoint_update(
+            "completed", updates={message.msg_id: result}
+        )
+        yield from self.checkpoint_update(
+            "inputs", removals=[message.msg_id], _charge=False
+        )
+        yield from self.checkpoint_update(
+            "pending_commit", removals=[message.msg_id], _charge=False
+        )
+        self._remember(message.msg_id)
+        proc.reply(message, result)
+
+    def _resolve_pending(self, proc: OsProcess, message: Message, pending: Any) -> Generator:
+        """Settle an in-doubt unit left by a dead primary.
+
+        Asks the TMP to abort the old transid: the reply carries the
+        authoritative disposition — ``committed`` means the old unit's
+        END-TRANSACTION had already completed its commit point, so the
+        checkpointed reply is returned and the unit must NOT re-run.
+        """
+        from repro.core import TmpAbort
+
+        old_transid, ready_reply = pending
+        try:
+            reply = yield from self.filesystem.send(
+                proc,
+                self.tmf.tmp_name,
+                TmpAbort(old_transid, "TCP takeover: resolving in-doubt unit"),
+                timeout=60_000.0,
+            )
+        except FileSystemError:
+            return None  # cannot resolve; re-run (transid will settle first)
+        if reply.get("disposition") == "committed":
+            yield from self.checkpoint_update(
+                "completed", updates={message.msg_id: ready_reply}
+            )
+            yield from self.checkpoint_update(
+                "pending_commit", removals=[message.msg_id], _charge=False
+            )
+            self._remember(message.msg_id)
+            return ready_reply
+        yield from self.checkpoint_update(
+            "pending_commit", removals=[message.msg_id]
+        )
+        return None
+
+    def _run_unit(self, proc: OsProcess, message: Message, payload: TerminalInput) -> Generator:
+        """Run one logical transaction with automatic backout/restart."""
+        program = self.programs[self.terminals[payload.terminal_id]]
+        last_error = ""
+        attempts = 0
+        for attempt in range(self.restart_limit + 1):
+            attempts = attempt + 1
+            context = ScreenContext(self, proc, payload.terminal_id)
+            context.attempt = attempt
+            transid = yield from self.tmf.begin(proc)
+            context.transaction_id = transid
+            try:
+                result = yield from program(context, payload.data)
+                reply = {
+                    "ok": True,
+                    "result": result,
+                    "display": context.display_lines,
+                    "attempts": attempts,
+                    "transid": str(transid),
+                }
+                # Intent-to-commit checkpoint: if this primary dies after
+                # the commit point but before recording completion, the
+                # new primary resolves via the transid instead of
+                # re-running the unit.
+                yield from self.checkpoint_update(
+                    "pending_commit", updates={message.msg_id: (transid, reply)}
+                )
+                yield from self.tmf.end(proc, transid)
+                self.units_committed += 1
+                return reply
+            except AbortTransaction as exc:
+                # Voluntary abort: back out, no automatic restart.
+                yield from self.tmf.abort(proc, transid, exc.reason)
+                self.units_aborted += 1
+                return {
+                    "ok": False,
+                    "error": "aborted",
+                    "reason": exc.reason,
+                    "display": context.display_lines,
+                    "attempts": attempts,
+                }
+            except RestartTransaction as exc:
+                yield from self.tmf.abort(proc, transid, exc.reason)
+                last_error = exc.reason
+            except TransactionAborted as exc:
+                # END-TRANSACTION rejected: the system aborted it
+                # (network partition, server CPU failure, ...).
+                last_error = exc.reason
+            except FileSystemError as exc:
+                yield from self.tmf.abort(proc, transid, str(exc))
+                last_error = str(exc)
+            self.restarts_total += 1
+            self._trace(
+                "transaction_restarted",
+                terminal=payload.terminal_id,
+                attempt=attempt,
+                reason=last_error,
+            )
+            yield self.env.timeout(self._backoff(payload.terminal_id, attempt))
+        self.units_aborted += 1
+        return {
+            "ok": False,
+            "error": "restart_limit",
+            "reason": last_error,
+            "attempts": attempts,
+        }
+
+    def _backoff(self, terminal_id: str, attempt: int) -> float:
+        """Deterministic, terminal-staggered restart delay.
+
+        Symmetric restarts are what turn one deadlock into an endless
+        livelock; each terminal backs off a different amount.
+        """
+        stagger = (zlib.crc32(terminal_id.encode()) % 97) / 97.0
+        return self.restart_delay * (attempt + 1) * (0.5 + stagger)
+
+    def _remember(self, msg_id: int) -> None:
+        self._completed_order.append(msg_id)
+        while len(self._completed_order) > 1024:
+            old = self._completed_order.pop(0)
+            self.state["completed"].pop(old, None)
+            self.backup_state.get("completed", {}).pop(old, None)
+
+    @property
+    def pending_inputs(self) -> int:
+        return len(self.state["inputs"])

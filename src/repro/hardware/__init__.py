@@ -1,0 +1,34 @@
+"""Simulated Tandem NonStop hardware (Figure 1 of the paper).
+
+Processor modules with private memory and I/O channels, dual
+interprocessor buses, dual-ported disc controllers, mirrored disc
+drives, nodes of 2–16 CPUs, and the EXPAND-like inter-node network —
+all failable independently, with at least two paths between any two
+components.
+"""
+
+from .bus import BusPair, InterprocessorBus
+from .component import Component, ComponentDown
+from .disc import DiscDrive, IoController, MirroredVolume, VolumeUnavailable
+from .latencies import Latencies
+from .network import CommLine, Network, NoRoute
+from .node import Node
+from .processor import Cpu, IoChannel
+
+__all__ = [
+    "BusPair",
+    "CommLine",
+    "Component",
+    "ComponentDown",
+    "Cpu",
+    "DiscDrive",
+    "InterprocessorBus",
+    "IoChannel",
+    "IoController",
+    "Latencies",
+    "MirroredVolume",
+    "Network",
+    "NoRoute",
+    "Node",
+    "VolumeUnavailable",
+]

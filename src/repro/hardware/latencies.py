@@ -1,0 +1,45 @@
+"""Timing parameters of the simulated hardware (milliseconds).
+
+Defaults are loosely calibrated to the 1981-era Tandem NonStop II: a
+13.5 MB/s interprocessor bus, ~1 MIPS processors, and 30 ms-class disc
+drives.  Absolute values do not matter for the reproduced experiments
+(the paper reports no absolute numbers); *ratios* do — e.g. an
+interprocessor checkpoint message is two orders of magnitude cheaper
+than a forced disc write, which is what makes the paper's
+checkpoint-instead-of-WAL argument (bench E2) visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Latencies"]
+
+
+@dataclass
+class Latencies:
+    """All simulated delays, in milliseconds."""
+
+    # CPU-local work
+    local_message: float = 0.01        # same-CPU interprocess message
+    instruction_burst: float = 0.05    # generic slice of application work
+
+    # Interprocessor bus (intra-node)
+    bus_message: float = 0.1           # CPU-to-CPU message over Dynabus
+    bus_broadcast: float = 0.1         # state-change broadcast to all CPUs
+
+    # Disc subsystem
+    disc_read: float = 25.0            # random read (cache miss)
+    disc_write: float = 25.0           # forced (synchronous) write
+    cache_hit: float = 0.1             # block found in DISCPROCESS cache
+    checkpoint: float = 0.2            # DISCPROCESS primary->backup checkpoint
+
+    # Network (inter-node, per hop)
+    network_hop: float = 15.0          # EXPAND line transit per hop
+    network_timeout: float = 500.0     # end-to-end delivery timeout
+
+    def scaled(self, factor: float) -> "Latencies":
+        """A copy with every delay multiplied by ``factor``."""
+        return Latencies(
+            **{name: getattr(self, name) * factor for name in self.__dataclass_fields__}
+        )

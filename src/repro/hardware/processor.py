@@ -1,0 +1,59 @@
+"""Processor modules and their I/O channels.
+
+A Tandem node contains 2–16 :class:`Cpu` modules, each with its own
+power supply, memory and I/O channel (paper §Hardware Architecture).
+A CPU failure takes its I/O channel down with it; restoring the CPU
+restores the channel.  The operating system layer subscribes to CPU
+failure to kill resident processes and drive process-pair takeover.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import Environment, Tracer
+from .component import Component
+
+__all__ = ["Cpu", "IoChannel"]
+
+
+class IoChannel(Component):
+    """The I/O channel of one CPU; fate-shared with its CPU."""
+
+    kind = "channel"
+
+    def __init__(self, env: Environment, cpu: "Cpu", tracer: Optional[Tracer] = None):
+        super().__init__(env, f"{cpu.name}.ch", tracer)
+        self.cpu = cpu
+
+
+class Cpu(Component):
+    """One processor module of a node."""
+
+    kind = "cpu"
+
+    def __init__(
+        self,
+        env: Environment,
+        node_name: str,
+        number: int,
+        memory_mb: int = 2,
+        tracer: Optional[Tracer] = None,
+    ):
+        super().__init__(env, f"{node_name}.cpu{number}", tracer)
+        self.node_name = node_name
+        self.number = number
+        self.memory_mb = memory_mb
+        self.channel = IoChannel(env, self, tracer)
+
+    def on_fail(self, reason: Any) -> None:
+        # The I/O channel is part of the processor module: it shares the
+        # module's power supply and dies with it.
+        self.channel.fail(reason=f"cpu {self.name} failed")
+
+    def on_restore(self) -> None:
+        self.channel.restore()
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Cpu {self.name} {state}>"

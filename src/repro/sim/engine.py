@@ -1,0 +1,131 @@
+"""The discrete-event simulation environment.
+
+Time is a float; by convention throughout this project it is measured in
+**milliseconds** of simulated wall-clock time.  The environment is fully
+deterministic: events scheduled for the same instant are processed in
+(priority, insertion-order) sequence, so a run with the same seeds always
+produces the same history.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = initial_time
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event creation helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
+        """Queue ``event`` for processing ``delay`` time units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # event was already processed (defensive)
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            # A failure nobody handled: abort the simulation loudly rather
+            # than silently dropping an error.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        triggers, returning its value or raising its exception).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                stop_event.defused = True
+                raise stop_event.value
+            if not self._queue:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        f"event {stop_event!r} triggered"
+                    )
+                if stop_time != float("inf"):
+                    self._now = stop_time
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+        return None

@@ -1,0 +1,77 @@
+"""Structured tracing and counters for experiments.
+
+The hardware, OS and TMF layers emit trace records through a shared
+:class:`Tracer`.  Experiments assert on the records (e.g. "every state
+transition observed is an edge of Figure 3") and the benchmark harness
+aggregates the counters (message counts, forced writes, takeovers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class Tracer:
+    """Collects trace records and counters for one simulation run.
+
+    Recording full records can be disabled (``keep_records=False``) for
+    long benchmark runs where only the counters matter.
+    """
+
+    def __init__(self, keep_records: bool = True):
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an occurrence of ``kind`` at simulated ``time``."""
+        self.counters[kind] += 1
+        if not self.keep_records and not self._subscribers:
+            return
+        record = TraceRecord(time=time, kind=kind, fields=fields)
+        if self.keep_records:
+            self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record."""
+        self._subscribers.append(callback)
+
+    def count(self, kind: str) -> int:
+        return self.counters[kind]
+
+    def select(self, kind: str, **criteria: Any) -> List[TraceRecord]:
+        """Records of ``kind`` whose fields match all ``criteria``."""
+        return list(self.iter(kind, **criteria))
+
+    def iter(self, kind: Optional[str] = None, **criteria: Any) -> Iterator[TraceRecord]:
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if all(record.fields.get(k) == v for k, v in criteria.items()):
+                yield record
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()

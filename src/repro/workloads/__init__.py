@@ -1,0 +1,24 @@
+"""Synthetic workload generation, failure injection, and sweeps.
+
+No 1981 Tandem production traces exist; these seeded generators drive
+the identical code paths (locking, audit, commit, backout) with
+controlled arrival processes, key skew, and failure schedules — the
+substitution recorded in DESIGN.md.
+"""
+
+from .drivers import LoadResult, TransactionMetrics, run_closed_loop
+from .failures import FailureEvent, FailureSchedule, random_failure_schedule
+from .keys import KeyChooser
+from .sweep import format_table, sweep
+
+__all__ = [
+    "FailureEvent",
+    "FailureSchedule",
+    "KeyChooser",
+    "LoadResult",
+    "TransactionMetrics",
+    "format_table",
+    "random_failure_schedule",
+    "run_closed_loop",
+    "sweep",
+]

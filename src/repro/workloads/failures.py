@@ -1,0 +1,94 @@
+"""Failure schedules: deterministic and randomized fault injection."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+__all__ = ["FailureEvent", "FailureSchedule", "random_failure_schedule"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Fail ``component`` at ``at``; restore at ``restore_at`` (optional)."""
+
+    at: float
+    component: Any
+    restore_at: Optional[float] = None
+
+
+class FailureSchedule:
+    """Executes failure events against a cluster as simulated time passes."""
+
+    def __init__(self, cluster: Any, events: Sequence[FailureEvent]):
+        self.cluster = cluster
+        self.events = sorted(events, key=lambda e: e.at)
+        self.injected: List[Tuple[float, str]] = []
+        self.process = cluster.env.process(self._run(), name="failure-schedule")
+
+    def _run(self) -> Generator:
+        env = self.cluster.env
+        timeline: List[Tuple[float, str, Any]] = []
+        for event in self.events:
+            timeline.append((event.at, "fail", event.component))
+            if event.restore_at is not None:
+                timeline.append((event.restore_at, "restore", event.component))
+        timeline.sort(key=lambda item: item[0])
+        for at, action, component in timeline:
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            if action == "fail":
+                component.fail(reason="failure schedule")
+            else:
+                component.restore()
+                # A restored drive needs a revive from its mirror before
+                # it can serve; find its volume if any.
+                if getattr(component, "stale", False):
+                    self._try_revive(component)
+            self.injected.append((env.now, f"{action}:{component.full_name}"))
+
+    def _try_revive(self, drive: Any) -> None:
+        for node_os in self.cluster.oses.values():
+            for volume in node_os.node.volumes.values():
+                if drive in volume.drives:
+                    try:
+                        volume.revive()
+                    except Exception:  # noqa: BLE001 - mirror also down
+                        pass
+                    return
+
+
+def random_failure_schedule(
+    cluster: Any,
+    rng: random.Random,
+    duration: float,
+    count: int,
+    kinds: Sequence[str] = ("cpu", "bus", "controller", "drive", "line"),
+    outage: float = 500.0,
+    protect: Sequence[Any] = (),
+) -> List[FailureEvent]:
+    """``count`` random single-component failures over ``duration`` ms.
+
+    Components are restored ``outage`` ms after failing, so the schedule
+    exercises takeover *and* re-protection.  ``protect`` lists components
+    that must not be chosen (e.g. to keep at least one mirror alive).
+    """
+    candidates = []
+    for node_os in cluster.oses.values():
+        for component in node_os.node.components():
+            if component.kind in kinds and component not in protect:
+                candidates.append(component)
+    for line in cluster.network.lines:
+        if "line" in kinds and line not in protect:
+            candidates.append(line)
+    if not candidates:
+        return []
+    events = []
+    for _ in range(count):
+        at = rng.uniform(duration * 0.05, duration * 0.85)
+        component = rng.choice(candidates)
+        events.append(
+            FailureEvent(at=at, component=component, restore_at=at + outage)
+        )
+    return events

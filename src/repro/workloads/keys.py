@@ -1,0 +1,52 @@
+"""Key-distribution choosers for synthetic workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..sim import zipf_weights
+
+__all__ = ["KeyChooser"]
+
+
+class KeyChooser:
+    """Draws keys 0..n-1 either uniformly or Zipf-skewed.
+
+    ``skew=0`` is uniform; larger skews concentrate traffic on a few hot
+    keys (the contention knob of the locking experiments).
+    """
+
+    def __init__(self, rng: random.Random, n: int, skew: float = 0.0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.rng = rng
+        self.n = n
+        self.skew = skew
+        self._weights: Sequence[float] = zipf_weights(n, skew) if skew > 0 else ()
+        self._cumulative: List[float] = []
+        if self._weights:
+            total = 0.0
+            for weight in self._weights:
+                total += weight
+                self._cumulative.append(total)
+
+    def choose(self) -> int:
+        if not self._cumulative:
+            return self.rng.randrange(self.n)
+        import bisect
+        point = self.rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, point)
+
+    def choose_distinct(self, count: int) -> List[int]:
+        """``count`` distinct keys (for multi-record transactions)."""
+        if count > self.n:
+            raise ValueError("cannot draw more distinct keys than exist")
+        chosen: List[int] = []
+        seen = set()
+        while len(chosen) < count:
+            key = self.choose()
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+        return chosen

@@ -1,0 +1,49 @@
+"""Parameter sweeps and result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["sweep", "format_table"]
+
+
+def sweep(
+    parameter_values: Iterable[Any],
+    run: Callable[[Any], Dict[str, Any]],
+    parameter_name: str = "param",
+) -> List[Dict[str, Any]]:
+    """Run ``run(value)`` for each value; returns one row per value."""
+    rows = []
+    for value in parameter_values:
+        row = {parameter_name: value}
+        row.update(run(value))
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table (benchmark output)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    headers = list(rows[0].keys())
+    rendered = [
+        [_fmt(row.get(header)) for header in headers] for row in rows
+    ]
+    widths = [
+        max(len(header), *(len(line[i]) for line in rendered))
+        for i, header in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,131 @@
+"""Audit-trail purging: files covered by archives are reclaimed, and
+recovery still works afterwards."""
+
+import pytest
+
+from repro.core import (
+    Rollforward,
+    dump_volume,
+    purge_audit_trails,
+)
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+
+from conftest import TmfRig
+from test_rollforward import total_failure_and_restart
+
+
+def schema():
+    return FileSchema(
+        name="accts",
+        organization=KEY_SEQUENCED,
+        primary_key=("aid",),
+        audited=True,
+        partitions=(PartitionSpec("alpha", "$data"),),
+    )
+
+
+@pytest.fixture
+def rig():
+    rig = TmfRig()
+    rig.add_volume("alpha", "$data")
+    rig.dictionary.define(schema())
+    # Small trail files so purging has units to reclaim.
+    rig.audit_processes["alpha"].trail.records_per_file = 8
+    return rig
+
+
+def commit_inserts(rig, proc, start, count):
+    tmf = rig.tmf["alpha"]
+    client = rig.clients["alpha"]
+    for aid in range(start, start + count):
+        transid = yield from tmf.begin(proc)
+        yield from client.insert(
+            proc, "accts", {"aid": aid, "balance": aid}, transid=transid
+        )
+        yield from tmf.end(proc, transid)
+
+
+class TestPurging:
+    def test_purge_reclaims_covered_files(self, rig):
+        holder = {}
+
+        def body(proc):
+            yield from rig.clients["alpha"].create_file(
+                proc, rig.dictionary.schema("accts")
+            )
+            yield from commit_inserts(rig, proc, 0, 30)
+            holder["archive"] = dump_volume(rig.disc_processes[("alpha", "$data")])
+            yield from commit_inserts(rig, proc, 100, 4)
+
+        rig.run("alpha", body)
+        trail = rig.audit_processes["alpha"].trail
+        files_before = len(trail.file_names)
+        purged = purge_audit_trails(rig.tmf["alpha"], [holder["archive"]])
+        assert purged >= 2
+        assert len(trail.file_names) == files_before - purged
+        # Post-archive records are never purged.
+        remaining = trail.scan_all()
+        assert any(r.seq >= holder["archive"].taken_at_seq for r in remaining)
+
+    def test_recovery_after_purge_is_still_exact(self, rig):
+        from repro.apps.banking import check_consistency  # noqa: F401 (style)
+        holder = {}
+
+        def phase_one(proc):
+            yield from rig.clients["alpha"].create_file(
+                proc, rig.dictionary.schema("accts")
+            )
+            yield from commit_inserts(rig, proc, 0, 20)
+            holder["archive"] = dump_volume(rig.disc_processes[("alpha", "$data")])
+            yield from commit_inserts(rig, proc, 200, 6)
+
+        rig.run("alpha", phase_one)
+        purge_audit_trails(rig.tmf["alpha"], [holder["archive"]])
+        total_failure_and_restart(rig, "alpha")
+
+        def phase_two(proc):
+            rollforward = Rollforward(rig.tmf["alpha"])
+            rollforward.rebuild_dispositions()
+            yield from rollforward.recover_volume(
+                proc, rig.disc_processes[("alpha", "$data")], holder["archive"]
+            )
+            rows = yield from rig.clients["alpha"].scan(proc, "accts")
+            return [k for k, _ in rows]
+
+        keys = rig.run("alpha", phase_two, name="$rf")
+        assert keys == [(i,) for i in range(20)] + [(i,) for i in range(200, 206)]
+
+    def test_uncovered_volume_blocks_purge(self, rig):
+        """A trail file holding another (unarchived) volume's images is
+        kept."""
+        rig.add_volume("alpha", "$data2", cpus=(2, 3))
+        rig.dictionary.define(
+            FileSchema(
+                name="other",
+                organization=KEY_SEQUENCED,
+                primary_key=("k",),
+                audited=True,
+                partitions=(PartitionSpec("alpha", "$data2"),),
+            )
+        )
+        holder = {}
+
+        def body(proc):
+            client = rig.clients["alpha"]
+            tmf = rig.tmf["alpha"]
+            yield from client.create_file(proc, rig.dictionary.schema("accts"))
+            yield from client.create_file(proc, rig.dictionary.schema("other"))
+            # Interleave both volumes into the same shared trail files.
+            for i in range(12):
+                transid = yield from tmf.begin(proc)
+                yield from client.insert(
+                    proc, "accts", {"aid": i, "balance": 0}, transid=transid
+                )
+                yield from client.insert(proc, "other", {"k": i}, transid=transid)
+                yield from tmf.end(proc, transid)
+            holder["archive"] = dump_volume(rig.disc_processes[("alpha", "$data")])
+
+        rig.run("alpha", body)
+        # Archive covers only $data; every file also holds $data2 images.
+        purged = purge_audit_trails(rig.tmf["alpha"], [holder["archive"]])
+        assert purged == 0

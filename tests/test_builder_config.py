@@ -1,0 +1,95 @@
+"""SystemBuilder misuse and configuration-edge coverage."""
+
+import pytest
+
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+from repro.encompass import SystemBuilder
+
+
+def simple_schema(node="alpha"):
+    return FileSchema(
+        name="f", organization=KEY_SEQUENCED, primary_key=("k",),
+        audited=True, partitions=(PartitionSpec(node, "$data"),),
+    )
+
+
+class TestBuilderMisuse:
+    def test_double_build_rejected(self):
+        builder = SystemBuilder(seed=1)
+        builder.add_node("alpha", cpus=2)
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.build()
+
+    def test_duplicate_file_definition_rejected(self):
+        builder = SystemBuilder(seed=1)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data")
+        builder.define_file(simple_schema())
+        with pytest.raises(ValueError):
+            builder.define_file(simple_schema())
+
+    def test_duplicate_node_rejected(self):
+        builder = SystemBuilder(seed=1)
+        builder.add_node("alpha", cpus=2)
+        with pytest.raises(ValueError):
+            builder.add_node("alpha", cpus=2)
+
+    def test_terminal_for_unknown_program_rejected(self):
+        builder = SystemBuilder(seed=1)
+        builder.add_node("alpha", cpus=4)
+        builder.add_tcp("alpha", "$tcp1", cpus=(2, 3))
+        with pytest.raises(KeyError):
+            builder.add_terminal("alpha", "$tcp1", "T1", "nope")
+
+    def test_server_class_name_must_be_dollar(self):
+        builder = SystemBuilder(seed=1)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data")
+        with pytest.raises(ValueError):
+            builder.add_server_class("alpha", "bank", lambda c, r: iter(()))
+
+    def test_audited_file_on_unaudited_volume_fails_ddl(self):
+        builder = SystemBuilder(seed=1)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data", audited=False)
+        builder.define_file(simple_schema())
+        from repro.discprocess import FileError
+        with pytest.raises(FileError):
+            builder.build()  # CreateFile rejected by the DISCPROCESS
+
+
+class TestSystemAccessors:
+    def test_stats_and_accessors(self):
+        builder = SystemBuilder(seed=2)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data")
+        system = builder.build()
+        assert system.transaction_stats() == {
+            "alpha": {"commits": 0, "aborts": 0},
+        }
+        assert system.node_os("alpha").node.name == "alpha"
+        assert system.client("alpha") is system.clients["alpha"]
+
+    def test_multi_node_auto_connect(self):
+        builder = SystemBuilder(seed=3)
+        builder.add_node("a", cpus=2)
+        builder.add_node("b", cpus=2)
+        system = builder.build()
+        assert system.cluster.network.connected("a", "b")
+
+    def test_explicit_topology_respected(self):
+        builder = SystemBuilder(seed=4)
+        for name in ("a", "b", "c"):
+            builder.add_node(name, cpus=2)
+        builder.connect("a", "b")
+        builder.connect("b", "c")   # no a-c line: routes go through b
+        system = builder.build()
+        assert len(system.cluster.network.route("a", "c")) == 2
+
+    def test_tmf_cpus_default_to_last_pair(self):
+        builder = SystemBuilder(seed=5)
+        builder.add_node("alpha", cpus=6)
+        system = builder.build()
+        tmf = system.tmf["alpha"]
+        assert (tmf.tmp.primary_cpu, tmf.tmp.backup_cpu) == (4, 5)

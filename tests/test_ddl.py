@@ -1,0 +1,150 @@
+"""The data-definition language front end to the dictionary."""
+
+import pytest
+
+from repro.discprocess import (
+    DataDictionary,
+    ENTRY_SEQUENCED,
+    KEY_SEQUENCED,
+    RELATIVE,
+    RecordError,
+)
+from repro.discprocess.ddl import DdlError, install_ddl, parse_ddl
+
+
+GOOD = """
+-- the account file, partitioned across two nodes
+DEFINE FILE account
+    ORGANIZATION key-sequenced
+    KEY (account_id)
+    ALTERNATE KEY (branch_id)
+    AUDITED
+    PARTITION ON alpha.$data
+    PARTITION ON beta.$data FROM (100)
+    SECURE READ "alpha.*", "beta.*" WRITE "alpha.$bank-*";
+
+DEFINE FILE history
+    ORGANIZATION entry-sequenced
+    AUDITED
+    PARTITION ON alpha.$data;
+
+DEFINE FILE slots
+    ORGANIZATION relative
+    PARTITION ON alpha.$data;
+"""
+
+
+class TestParse:
+    def test_full_example(self):
+        schemas = parse_ddl(GOOD)
+        assert [s.name for s in schemas] == ["account", "history", "slots"]
+        account = schemas[0]
+        assert account.organization == KEY_SEQUENCED
+        assert account.primary_key == ("account_id",)
+        assert account.alternate_keys == ("branch_id",)
+        assert account.audited
+        assert len(account.partitions) == 2
+        assert account.partitions[1].node == "beta"
+        assert account.partitions[1].low_key == (100,)
+        assert account.security.write == ("alpha.$bank-*",)
+        assert account.security.read == ("alpha.*", "beta.*")
+        assert schemas[1].organization == ENTRY_SEQUENCED
+        assert schemas[2].organization == RELATIVE
+
+    def test_compound_and_string_low_keys(self):
+        schemas = parse_ddl("""
+            DEFINE FILE po_detail
+                ORGANIZATION key-sequenced
+                KEY (po_id, line)
+                PARTITION ON a.$d1
+                PARTITION ON b.$d2 FROM ("P-500", 0);
+        """)
+        assert schemas[0].primary_key == ("po_id", "line")
+        assert schemas[0].partitions[1].low_key == ("P-500", 0)
+
+    def test_missing_organization(self):
+        with pytest.raises(DdlError):
+            parse_ddl("DEFINE FILE x KEY (k) PARTITION ON a.$d;")
+
+    def test_key_sequenced_without_key_fails_schema_validation(self):
+        with pytest.raises(RecordError):
+            parse_ddl("""
+                DEFINE FILE x
+                    ORGANIZATION key-sequenced
+                    PARTITION ON a.$d;
+            """)
+
+    def test_unknown_clause(self):
+        with pytest.raises(DdlError):
+            parse_ddl("DEFINE FILE x ORGANIZATION relative COMPRESS;")
+
+    def test_bad_partition_location(self):
+        with pytest.raises(DdlError):
+            parse_ddl("DEFINE FILE x ORGANIZATION relative PARTITION ON onlyvolume;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(DdlError):
+            parse_ddl("DEFINE FILE x ORGANIZATION relative PARTITION ON a.$d")
+
+    def test_unknown_organization(self):
+        with pytest.raises(DdlError):
+            parse_ddl("DEFINE FILE x ORGANIZATION heap PARTITION ON a.$d;")
+
+    def test_comments_stripped(self):
+        schemas = parse_ddl("""
+            -- leading comment
+            DEFINE FILE x -- trailing comment
+                ORGANIZATION relative
+                PARTITION ON a.$d;  -- done
+        """)
+        assert schemas[0].name == "x"
+
+
+class TestInstall:
+    def test_install_defines_in_dictionary(self):
+        dictionary = DataDictionary()
+        install_ddl(GOOD, dictionary)
+        assert dictionary.files() == ["account", "history", "slots"]
+        assert dictionary.schema("account").partitioned
+
+    def test_duplicate_rejected(self):
+        dictionary = DataDictionary()
+        install_ddl(GOOD, dictionary)
+        with pytest.raises(ValueError):
+            install_ddl(GOOD, dictionary)
+
+
+class TestEndToEnd:
+    def test_ddl_defined_file_is_usable(self):
+        """DDL -> dictionary -> live system -> transactions."""
+        from repro.encompass import SystemBuilder
+
+        builder = SystemBuilder(seed=96)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data", cpus=(0, 1))
+        install_ddl("""
+            DEFINE FILE parts
+                ORGANIZATION key-sequenced
+                KEY (part_id)
+                ALTERNATE KEY (color)
+                AUDITED
+                PARTITION ON alpha.$data;
+        """, builder.dictionary)
+        system = builder.build()
+        tmf = system.tmf["alpha"]
+        client = system.clients["alpha"]
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            yield from client.insert(
+                proc, "parts", {"part_id": 1, "color": "red"}, transid=transid
+            )
+            yield from client.insert(
+                proc, "parts", {"part_id": 2, "color": "red"}, transid=transid
+            )
+            yield from tmf.end(proc, transid)
+            reds = yield from client.read_via_index(proc, "parts", "color", "red")
+            return sorted(r["part_id"] for r in reds)
+
+        proc = system.spawn("alpha", "$t", body, cpu=0)
+        assert system.cluster.run(proc.sim_process) == [1, 2]

@@ -1,0 +1,153 @@
+"""The non-procedural query/report language and its access planner."""
+
+import pytest
+
+from repro.apps.order_entry import install_order_entry, populate_order_entry
+from repro.encompass import EnformError, SystemBuilder, compile_query
+
+
+@pytest.fixture(scope="module")
+def system():
+    builder = SystemBuilder(seed=66)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    install_order_entry(builder, "alpha", "$data")
+    system = builder.build()
+    populate_order_entry(system, "alpha", customers=12, items=20, stock=50,
+                         price=7)
+    return system
+
+
+def run_query(system, source):
+    query = compile_query(source, system.dictionary)
+    holder = {}
+
+    def body(proc):
+        result = yield from query.execute(proc, system.clients["alpha"])
+        holder["result"] = result
+
+    proc = system.spawn("alpha", "$q", body, cpu=0)
+    system.cluster.run(proc.sim_process)
+    return query, holder["result"]
+
+
+class TestCompile:
+    def test_requires_from(self, system):
+        with pytest.raises(EnformError):
+            compile_query("SELECT x", system.dictionary)
+
+    def test_unknown_file(self, system):
+        with pytest.raises(Exception):
+            compile_query("FROM nonexistent", system.dictionary)
+
+    def test_bad_condition(self, system):
+        with pytest.raises(EnformError):
+            compile_query("FROM customer\nWHERE region !! 3", system.dictionary)
+
+    def test_duplicate_clause(self, system):
+        with pytest.raises(EnformError):
+            compile_query("FROM customer\nFROM item", system.dictionary)
+
+    def test_unknown_clause(self, system):
+        with pytest.raises(EnformError):
+            compile_query("FROM customer\nFETCH 10", system.dictionary)
+
+
+class TestPlanner:
+    def test_alternate_key_equality_uses_index(self, system):
+        query = compile_query(
+            'FROM customer\nWHERE region = "west"', system.dictionary
+        )
+        assert query.plan == "index-lookup"
+        assert "region" in query.plan_detail
+
+    def test_primary_key_range_uses_btree(self, system):
+        query = compile_query(
+            "FROM customer\nWHERE customer_id >= 3 AND customer_id <= 7",
+            system.dictionary,
+        )
+        assert query.plan == "key-range"
+
+    def test_primary_key_equality_is_range_of_one(self, system):
+        query = compile_query(
+            "FROM customer\nWHERE customer_id = 4", system.dictionary
+        )
+        assert query.plan == "key-range"
+        assert query.plan_args == ((4,), (4,))
+
+    def test_unindexed_predicate_full_scans(self, system):
+        query = compile_query(
+            'FROM customer\nWHERE name = "customer 3"', system.dictionary
+        )
+        assert query.plan == "full-scan"
+
+
+class TestExecution:
+    def test_projection_and_where(self, system):
+        _query, result = run_query(system, """
+            FROM customer
+            SELECT customer_id, region
+            WHERE region = "west"
+        """)
+        assert result.plan == "index-lookup"
+        assert all(set(r) == {"customer_id", "region"} for r in result.rows)
+        assert all(r["region"] == "west" for r in result.rows)
+        assert sorted(r["customer_id"] for r in result.rows) == [0, 3, 6, 9]
+
+    def test_range_and_order_desc(self, system):
+        _query, result = run_query(system, """
+            FROM item
+            SELECT item_id
+            WHERE item_id >= 5 AND item_id < 9
+            ORDER BY item_id DESC
+        """)
+        assert [r["item_id"] for r in result.rows] == [8, 7, 6, 5]
+
+    def test_total_and_count(self, system):
+        _query, result = run_query(system, """
+            FROM item
+            WHERE item_id < 4
+            TOTAL stock
+            COUNT
+        """)
+        assert result.totals == {"stock": 4 * 50}
+        assert result.count == 4
+
+    def test_first_limits_rows(self, system):
+        _query, result = run_query(system, """
+            FROM customer
+            ORDER BY customer_id
+            FIRST 3
+        """)
+        assert [r["customer_id"] for r in result.rows] == [0, 1, 2]
+
+    def test_report_rendering(self, system):
+        _query, result = run_query(system, """
+            FROM customer
+            SELECT customer_id, region
+            WHERE customer_id < 2
+            COUNT
+        """)
+        text = result.render()
+        assert "CUSTOMER_ID" in text and "REGION" in text
+        assert "COUNT: 2" in text
+
+    def test_string_comparisons(self, system):
+        _query, result = run_query(system, """
+            FROM customer
+            WHERE region <> "west"
+            COUNT
+        """)
+        assert result.count == 8
+
+    def test_entry_sequenced_reportable(self, system):
+        # order_log starts empty; report should still run (0 rows).
+        _query, result = run_query(system, "FROM order_log\nCOUNT")
+        assert result.count == 0
+
+    def test_queries_are_browse_access(self, system):
+        """Queries take no locks: no lock activity on the volume."""
+        dp = system.disc_processes[("alpha", "$data")]
+        before = dp.locks.grants
+        run_query(system, 'FROM customer\nWHERE region = "eu"')
+        assert dp.locks.grants == before

@@ -1,0 +1,135 @@
+"""Unit tests for the File System layer: transid export dedupe and the
+automatic remote-transaction-begin protocol."""
+
+import pytest
+
+from repro.core import Transid, TransactionAborted
+from repro.guardian import Cluster, FileSystemError
+
+
+def echo_server(proc):
+    while True:
+        message = yield from proc.receive()
+        proc.reply(message, {"ok": True, "transid": str(message.transid)})
+
+
+class ExportRecorder:
+    """A fake transid exporter standing in for the TMP protocol."""
+
+    def __init__(self, fail_for=()):
+        self.calls = []
+        self.fail_for = set(fail_for)
+
+    def __call__(self, proc, transid, dest_node):
+        self.calls.append((str(transid), dest_node))
+        if dest_node in self.fail_for:
+            raise TransactionAborted(transid, f"remote begin to {dest_node} failed")
+        return
+        yield  # pragma: no cover
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(seed=6)
+    for name in ("a", "b", "c"):
+        cluster.add_node(name, cpu_count=2)
+    cluster.connect_all()
+    cluster.os("b").spawn("$echo", 0, echo_server)
+    cluster.os("c").spawn("$echo", 0, echo_server)
+    return cluster
+
+
+T = Transid("a", 0, 1)
+
+
+class TestTransidExport:
+    def test_exporter_called_for_remote_sends_with_transid(self, cluster):
+        recorder = ExportRecorder()
+        cluster.fs("a").transid_exporter = recorder
+
+        def body(proc):
+            yield from cluster.fs("a").send(proc, "\\b.$echo", {}, transid=T)
+            yield from cluster.fs("a").send(proc, "\\c.$echo", {}, transid=T)
+            return recorder.calls
+
+        proc = cluster.os("a").spawn("$t", 0, body, register=False)
+        calls = cluster.run(proc.sim_process)
+        assert calls == [(str(T), "b"), (str(T), "c")]
+
+    def test_no_export_for_local_sends(self, cluster):
+        recorder = ExportRecorder()
+        cluster.fs("a").transid_exporter = recorder
+        cluster.os("a").spawn("$echo", 1, echo_server)
+
+        def body(proc):
+            yield from cluster.fs("a").send(proc, "$echo", {}, transid=T)
+            return recorder.calls
+
+        proc = cluster.os("a").spawn("$t", 0, body, register=False)
+        assert cluster.run(proc.sim_process) == []
+
+    def test_no_export_without_transid(self, cluster):
+        recorder = ExportRecorder()
+        cluster.fs("a").transid_exporter = recorder
+
+        def body(proc):
+            yield from cluster.fs("a").send(proc, "\\b.$echo", {})
+            return recorder.calls
+
+        proc = cluster.os("a").spawn("$t", 0, body, register=False)
+        assert cluster.run(proc.sim_process) == []
+
+    def test_failed_export_aborts_the_send(self, cluster):
+        recorder = ExportRecorder(fail_for={"b"})
+        cluster.fs("a").transid_exporter = recorder
+
+        def body(proc):
+            try:
+                yield from cluster.fs("a").send(proc, "\\b.$echo", {}, transid=T)
+            except TransactionAborted:
+                return "aborted"
+
+        proc = cluster.os("a").spawn("$t", 0, body, register=False)
+        assert cluster.run(proc.sim_process) == "aborted"
+
+    def test_transid_piggybacks_on_message(self, cluster):
+        cluster.fs("a").transid_exporter = ExportRecorder()
+
+        def body(proc):
+            reply = yield from cluster.fs("a").send(proc, "\\b.$echo", {}, transid=T)
+            return reply["transid"]
+
+        proc = cluster.os("a").spawn("$t", 0, body, register=False)
+        assert cluster.run(proc.sim_process) == str(T)
+
+
+class TestRealExportDedupe:
+    def test_tmf_exports_once_per_destination(self):
+        """The real TMP protocol: 'the TMP on the sending node determines
+        whether the destination node has received a previous transmission
+        of the requesting transid from the sending node' — the second
+        send to the same node skips the remote begin."""
+        from conftest import TmfRig
+
+        rig = TmfRig(nodes=("a", "b"))
+        rig.add_volume("b", "$data")
+        from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+        rig.dictionary.define(
+            FileSchema(
+                name="f", organization=KEY_SEQUENCED, primary_key=("k",),
+                audited=True, partitions=(PartitionSpec("b", "$data"),),
+            )
+        )
+        tmf = rig.tmf["a"]
+
+        def body(proc):
+            yield from rig.clients["a"].create_file(proc, rig.dictionary.schema("f"))
+            transid = yield from tmf.begin(proc)
+            yield from rig.clients["a"].insert(proc, "f", {"k": 1}, transid=transid)
+            yield from rig.clients["a"].insert(proc, "f", {"k": 2}, transid=transid)
+            yield from rig.clients["a"].insert(proc, "f", {"k": 3}, transid=transid)
+            yield from tmf.end(proc, transid)
+            return True
+
+        assert rig.run("a", body)
+        assert tmf.remote_begins_sent == 1  # three sends, one remote begin

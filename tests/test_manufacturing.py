@@ -1,0 +1,144 @@
+"""Figure 4: the four-node manufacturing application.
+
+Node autonomy vs. replica consistency: global updates run only at a
+record's master node; non-master copies follow via suspense files; the
+copies converge once the network heals.
+"""
+
+import pytest
+
+from repro.apps.manufacturing import (
+    MANUFACTURING_NODES,
+    build_manufacturing_system,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    # Module-scoped: building four full nodes is the expensive part.
+    return build_manufacturing_system(seed=11, items_per_node=2,
+                                      monitor_interval=200.0)
+
+
+def run_op(app, node, gen_fn, name="$op"):
+    p = app.system.spawn(node, name, gen_fn, cpu=0)
+    return app.system.cluster.run(p.sim_process)
+
+
+def settle(app, ms=3000.0):
+    idle = app.system.spawn(
+        "cupertino", "$settle",
+        lambda proc: (yield app.system.env.timeout(ms)), cpu=0,
+    )
+    app.system.cluster.run(idle.sim_process)
+
+
+class TestManufacturing:
+    def test_initial_copies_identical(self, app):
+        report = app.convergence_report()
+        assert report["converged"]
+        assert all(depth == 0 for depth in report["suspense_depth"].values())
+
+    def test_update_at_master_propagates_everywhere(self, app):
+        # Item 0 is mastered at cupertino.
+        def op(proc):
+            reply = yield from app.update_item(
+                proc, "cupertino", 0, {"qty_on_hand": 55}
+            )
+            return reply
+
+        reply = run_op(app, "cupertino", op)
+        assert reply["ok"]
+        settle(app)  # suspense monitors drain
+        report = app.convergence_report()
+        assert report["converged"]
+        assert report["copies"]["neufahrn"][(0,)]["qty_on_hand"] == 55
+
+    def test_update_from_non_master_routes_to_master(self, app):
+        # Item 2 is mastered at santaclara; update it from reston.
+        def op(proc):
+            reply = yield from app.update_item(
+                proc, "reston", 2, {"description": "routed"}
+            )
+            return reply
+
+        reply = run_op(app, "reston", op)
+        assert reply["ok"]
+        settle(app)
+        report = app.convergence_report()
+        assert report["converged"]
+        assert report["copies"]["reston"][(2,)]["description"] == "routed"
+
+    def test_node_autonomy_during_partition(self, app):
+        """A partitioned node keeps updating the records it masters;
+        suspense entries accumulate; copies converge after heal."""
+        network = app.system.cluster.network
+        others = [n for n in MANUFACTURING_NODES if n != "neufahrn"]
+        network.partition(["neufahrn"], others)
+
+        # Neufahrn updates its own item (6 or 7 mastered there).
+        def op_nf(proc):
+            reply = yield from app.update_item(
+                proc, "neufahrn", 6, {"qty_on_hand": 9}
+            )
+            return reply
+
+        reply = run_op(app, "neufahrn", op_nf, name="$opnf")
+        assert reply["ok"], "node autonomy: master-local update must succeed"
+
+        # Cupertino also keeps updating its item.
+        def op_cu(proc):
+            reply = yield from app.update_item(
+                proc, "cupertino", 1, {"qty_on_hand": 77}
+            )
+            return reply
+
+        reply = run_op(app, "cupertino", op_cu, name="$opcu")
+        assert reply["ok"]
+        settle(app, 1500)
+        report = app.convergence_report()
+        assert not report["converged"]
+        assert report["suspense_depth"]["neufahrn"] >= 1  # deferred for others
+        assert report["suspense_depth"]["cupertino"] >= 1  # deferred for neufahrn
+
+        # Heal: monitors drain both directions; copies converge.
+        network.heal()
+        settle(app, 6000)
+        report = app.convergence_report()
+        assert report["converged"]
+        assert report["copies"]["cupertino"][(6,)]["qty_on_hand"] == 9
+        assert report["copies"]["neufahrn"][(1,)]["qty_on_hand"] == 77
+        assert all(d == 0 for d in report["suspense_depth"].values())
+
+    def test_update_of_unreachable_master_fails(self, app):
+        """The compromise's cost: no node may update a record whose
+        master is unavailable."""
+        network = app.system.cluster.network
+        network.partition(["santaclara"], [n for n in MANUFACTURING_NODES if n != "santaclara"])
+
+        def op(proc):
+            reply = yield from app.update_item(
+                proc, "reston", 2, {"description": "should fail"}
+            )
+            return reply
+
+        reply = run_op(app, "reston", op, name="$opfail")
+        assert not reply["ok"]
+        assert reply["error"] in ("master_unavailable", "not_master")
+        network.heal()
+        settle(app, 3000)
+
+    def test_local_transactions_always_run(self, app):
+        """Most transactions access only local files and are unaffected
+        by any partition."""
+        network = app.system.cluster.network
+        network.partition(["reston"], [n for n in MANUFACTURING_NODES if n != "reston"])
+
+        def op(proc):
+            qty = yield from app.local_transaction(proc, "reston", 42, +5)
+            qty = yield from app.local_transaction(proc, "reston", 42, -2)
+            return qty
+
+        assert run_op(app, "reston", op, name="$oploc") == 3
+        network.heal()
+        settle(app, 2000)

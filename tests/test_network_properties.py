@@ -1,0 +1,123 @@
+"""Property-based tests of the EXPAND-like network routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Network, NoRoute, Node
+from repro.sim import Environment
+
+NODE_NAMES = ["n0", "n1", "n2", "n3", "n4"]
+
+# A topology: which of the 10 possible edges exist; plus which are up.
+edges_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 4), st.integers(0, 4), st.booleans()
+    ).filter(lambda e: e[0] < e[1]),
+    min_size=1,
+    max_size=10,
+    unique_by=lambda e: (e[0], e[1]),
+)
+
+
+def build(edges):
+    env = Environment()
+    network = Network(env)
+    for name in NODE_NAMES:
+        network.add_node(Node(env, name, cpu_count=2))
+    lines = []
+    for a, b, up in edges:
+        line = network.connect(NODE_NAMES[a], NODE_NAMES[b])
+        if not up:
+            line.fail()
+        lines.append(line)
+    return network
+
+
+def reference_reachable(edges, source, destination):
+    """BFS over the up edges only."""
+    adjacency = {i: set() for i in range(5)}
+    for a, b, up in edges:
+        if up:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    seen, frontier = {source}, [source]
+    while frontier:
+        here = frontier.pop()
+        for neighbour in adjacency[here]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return destination in seen
+
+
+@settings(max_examples=80, deadline=None)
+@given(edges=edges_strategy, source=st.integers(0, 4), dest=st.integers(0, 4))
+def test_route_iff_reachable(edges, source, dest):
+    network = build(edges)
+    expected = source == dest or reference_reachable(edges, source, dest)
+    assert network.connected(NODE_NAMES[source], NODE_NAMES[dest]) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edges_strategy, source=st.integers(0, 4), dest=st.integers(0, 4))
+def test_routes_use_only_up_lines_and_are_minimal_hops(edges, source, dest):
+    network = build(edges)
+    if source == dest:
+        assert network.route(NODE_NAMES[source], NODE_NAMES[dest]) == []
+        return
+    try:
+        path = network.route(NODE_NAMES[source], NODE_NAMES[dest])
+    except NoRoute:
+        assert not reference_reachable(edges, source, dest)
+        return
+    # Path is contiguous, uses only up lines, ends at the destination.
+    here = NODE_NAMES[source]
+    for line in path:
+        assert line.up
+        here = line.other_end(here)
+    assert here == NODE_NAMES[dest]
+    # Minimal hop count vs reference BFS.
+    def bfs_hops():
+        adjacency = {i: set() for i in range(5)}
+        for a, b, up in edges:
+            if up:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        depth = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for neighbour in adjacency[node]:
+                    if neighbour not in depth:
+                        depth[neighbour] = depth[node] + 1
+                        nxt.append(neighbour)
+            frontier = nxt
+        return depth[dest]
+
+    assert len(path) == bfs_hops()
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edges_strategy)
+def test_partition_disconnects_and_heal_restores(edges):
+    network = build(edges)
+    for line in network.lines:
+        line.restore()
+    group_a = NODE_NAMES[:2]
+    group_b = NODE_NAMES[2:]
+    network.partition(group_a, group_b)
+    for a in group_a:
+        for b in group_b:
+            assert not network.connected(a, b)
+    network.heal()
+    # After heal every edge in the topology is up again: connectivity is
+    # whatever the full topology gives.
+    full = [(a, b, True) for a, b, _up in edges]
+    for i, a in enumerate(NODE_NAMES):
+        for j, b in enumerate(NODE_NAMES):
+            if i < j:
+                assert network.connected(a, b) == (
+                    reference_reachable(full, i, j)
+                )

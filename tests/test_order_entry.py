@@ -1,0 +1,123 @@
+"""The order-entry application: compound keys, alternate indices, and
+multi-record transactions with out-of-stock aborts."""
+
+import pytest
+
+from repro.apps.order_entry import (
+    install_order_entry,
+    populate_order_entry,
+)
+from repro.encompass import SystemBuilder
+
+
+@pytest.fixture
+def system():
+    builder = SystemBuilder(seed=33)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    install_order_entry(builder, "alpha", "$data", server_instances=2)
+
+    def order_program(ctx, data):
+        reply = yield from ctx.send("$order", data)
+        if not reply.get("ok"):
+            if reply.get("error") == "lock_timeout":
+                ctx.restart_transaction("deadlock")
+            ctx.abort_transaction(reply.get("error", "server error"))
+        return reply
+
+    builder.add_tcp("alpha", "$tcp1", cpus=(2, 3))
+    builder.add_program("alpha", "$tcp1", "order", order_program)
+    builder.add_terminal("alpha", "$tcp1", "T1", "order")
+    system = builder.build()
+    populate_order_entry(system, "alpha", customers=5, items=10, stock=100)
+    return system
+
+
+def drive(system, data):
+    return system.drive("alpha", "$tcp1", "T1", data)
+
+
+class TestOrderEntry:
+    def test_new_order_decrements_stock(self, system):
+        reply = drive(system, {
+            "op": "new_order", "order_id": 1, "customer_id": 2,
+            "lines": [(0, 10), (1, 5)],
+        })
+        assert reply["ok"]
+        assert reply["result"]["total"] == 150  # (10+5) * price 10
+
+        def check(proc):
+            item0 = yield from system.clients["alpha"].read(proc, "item", (0,))
+            order = yield from system.clients["alpha"].read(proc, "order", (1,))
+            lines = yield from system.clients["alpha"].scan(
+                proc, "order_line", low=(1, 0), high=(1, 99)
+            )
+            return item0, order, lines
+
+        proc = system.spawn("alpha", "$chk", check, cpu=0)
+        item0, order, lines = system.cluster.run(proc.sim_process)
+        assert item0["stock"] == 90
+        assert order["status"] == "open"
+        assert [k for k, _ in lines] == [(1, 1), (1, 2)]
+
+    def test_out_of_stock_aborts_whole_order(self, system):
+        reply = drive(system, {
+            "op": "new_order", "order_id": 2, "customer_id": 1,
+            "lines": [(3, 10), (4, 9999)],   # second line cannot be filled
+        })
+        assert not reply["ok"]
+        assert "out_of_stock" in reply["reason"]
+
+        def check(proc):
+            item3 = yield from system.clients["alpha"].read(proc, "item", (3,))
+            order = yield from system.clients["alpha"].read(proc, "order", (2,))
+            return item3, order
+
+        proc = system.spawn("alpha", "$chk2", check, cpu=0)
+        item3, order = system.cluster.run(proc.sim_process)
+        assert item3["stock"] == 100, "first line's decrement backed out"
+        assert order is None
+
+    def test_orders_for_customer_via_index(self, system):
+        for order_id in (10, 11, 12):
+            drive(system, {
+                "op": "new_order", "order_id": order_id,
+                "customer_id": 4 if order_id != 11 else 3,
+                "lines": [(5, 1)],
+            })
+        reply = drive(system, {"op": "orders_for_customer", "customer_id": 4})
+        ids = sorted(o["order_id"] for o in reply["result"]["orders"])
+        assert ids == [10, 12]
+
+    def test_status_index_tracks_shipping(self, system):
+        drive(system, {"op": "new_order", "order_id": 20, "customer_id": 0,
+                       "lines": [(6, 1)]})
+        drive(system, {"op": "new_order", "order_id": 21, "customer_id": 0,
+                       "lines": [(6, 1)]})
+        reply = drive(system, {"op": "open_orders"})
+        assert {o["order_id"] for o in reply["result"]["orders"]} >= {20, 21}
+        drive(system, {"op": "ship_order", "order_id": 20})
+        reply = drive(system, {"op": "open_orders"})
+        open_ids = {o["order_id"] for o in reply["result"]["orders"]}
+        assert 20 not in open_ids
+        assert 21 in open_ids
+
+    def test_unknown_customer_rejected(self, system):
+        reply = drive(system, {
+            "op": "new_order", "order_id": 30, "customer_id": 999,
+            "lines": [(0, 1)],
+        })
+        assert not reply["ok"]
+        assert "no_such_customer" in reply["reason"]
+
+    def test_order_log_records_events(self, system):
+        drive(system, {"op": "new_order", "order_id": 40, "customer_id": 1,
+                       "lines": [(7, 2)]})
+        drive(system, {"op": "ship_order", "order_id": 40})
+
+        def check(proc):
+            rows = yield from system.clients["alpha"].scan_entries(proc, "order_log")
+            return [r["event"] for _esn, r in rows if r["order_id"] == 40]
+
+        proc = system.spawn("alpha", "$chk3", check, cpu=0)
+        assert system.cluster.run(proc.sim_process) == ["new", "ship"]

@@ -1,0 +1,203 @@
+"""Tests pinning specific sentences of the paper to observable behaviour.
+
+Each test quotes the passage it verifies.  These complement the broader
+integration tests: they exist so that a change that silently diverges
+from the paper's stated semantics fails loudly.
+"""
+
+import pytest
+
+from repro.core import Transid, TransactionAborted
+from repro.discprocess import (
+    FileSchema,
+    KEY_SEQUENCED,
+    PartitionSpec,
+)
+from repro.encompass import SystemBuilder
+
+
+def build_simple():
+    builder = SystemBuilder(seed=71)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    builder.define_file(
+        FileSchema(
+            name="t",
+            organization=KEY_SEQUENCED,
+            primary_key=("k",),
+            audited=True,
+            partitions=(PartitionSpec("alpha", "$data"),),
+        )
+    )
+    return builder.build()
+
+
+class TestConcurrencyClauses:
+    """Gray's clauses (a)-(d) as adopted in §Concurrency Control."""
+
+    def test_clause_a_no_overwriting_dirty_data(self):
+        """'(a) does not overwrite dirty data of other transactions' —
+        enforced by the not-locked check + exclusive locks: T2 cannot
+        update a record T1 holds dirty."""
+        system = build_simple()
+        tmf = system.tmf["alpha"]
+        client = system.clients["alpha"]
+        outcome = {}
+
+        def t1(proc):
+            transid = yield from tmf.begin(proc)
+            yield from client.insert(proc, "t", {"k": 1, "v": "t1"}, transid=transid)
+            outcome["t1_inserted_at"] = system.env.now
+            yield system.env.timeout(300)
+            yield from tmf.end(proc, transid)
+            outcome["t1_done_at"] = system.env.now
+
+        def t2(proc):
+            yield system.env.timeout(100)
+            transid = yield from tmf.begin(proc)
+            from repro.discprocess import LockTimeoutError, NotLockedError
+            try:
+                # No lock held: TMF verifies and rejects.
+                yield from client.update(proc, "t", {"k": 1, "v": "t2"}, transid=transid)
+                outcome["t2"] = "updated dirty data (BAD)"
+            except NotLockedError:
+                outcome["t2"] = "rejected not_locked"
+            except LockTimeoutError:
+                outcome["t2"] = "blocked by lock"
+            yield from tmf.abort(proc, transid, "test")
+
+        p1 = system.spawn("alpha", "$t1", t1, cpu=0)
+        p2 = system.spawn("alpha", "$t2", t2, cpu=1)
+        system.cluster.run(p1.sim_process)
+        system.cluster.run(p2.sim_process)
+        assert outcome["t2"] in ("rejected not_locked", "blocked by lock")
+
+    def test_clause_c_reads_with_lock_block_on_dirty_data(self):
+        """'(c) does not read dirty data' — a locked read of a record
+        another transaction has modified waits for its outcome."""
+        system = build_simple()
+        tmf = system.tmf["alpha"]
+        client = system.clients["alpha"]
+        order = []
+
+        def writer(proc):
+            transid = yield from tmf.begin(proc)
+            yield from client.insert(proc, "t", {"k": 2, "v": "dirty"}, transid=transid)
+            yield system.env.timeout(200)
+            yield from tmf.abort(proc, transid, "writer aborts")
+            order.append(("writer_aborted", system.env.now))
+
+        def reader(proc):
+            yield system.env.timeout(50)
+            transid = yield from tmf.begin(proc)
+            record = yield from client.read(
+                proc, "t", (2,), transid=transid, lock=True, lock_timeout=2000
+            )
+            order.append(("reader_saw", record, system.env.now))
+            yield from tmf.end(proc, transid)
+
+        pw = system.spawn("alpha", "$w", writer, cpu=0)
+        pr = system.spawn("alpha", "$r", reader, cpu=1)
+        system.cluster.run(pw.sim_process)
+        system.cluster.run(pr.sim_process)
+        # The reader was granted the lock only after the abort, and saw
+        # the backed-out state (None), never the dirty insert.
+        assert order[0][0] == "writer_aborted"
+        assert order[1][1] is None
+
+    def test_clause_d_not_enforced_for_unlocked_reads(self):
+        """'The observance of clause (d) is recommended ... but for
+        system performance reasons is not enforced' — an unlocked browse
+        CAN see uncommitted data.  This documents the paper's stated
+        non-guarantee."""
+        system = build_simple()
+        tmf = system.tmf["alpha"]
+        client = system.clients["alpha"]
+        seen = {}
+
+        def writer(proc):
+            transid = yield from tmf.begin(proc)
+            yield from client.insert(proc, "t", {"k": 3, "v": "dirty"}, transid=transid)
+            yield system.env.timeout(200)
+            yield from tmf.abort(proc, transid, "never happened")
+
+        def browser(proc):
+            yield system.env.timeout(100)
+            record = yield from client.read(proc, "t", (3,))  # no lock
+            seen["browse"] = record
+
+        pw = system.spawn("alpha", "$w", writer, cpu=0)
+        pb = system.spawn("alpha", "$b", browser, cpu=1)
+        system.cluster.run(pw.sim_process)
+        system.cluster.run(pb.sim_process)
+        assert seen["browse"] == {"k": 3, "v": "dirty"}
+
+
+class TestTransidStructure:
+    def test_transid_composition(self):
+        """'The transid consists of a sequence number, qualified by the
+        number of the processor in which BEGIN-TRANSACTION was called,
+        qualified by the number of the network node.'"""
+        system = build_simple()
+        tmf = system.tmf["alpha"]
+        holder = {}
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            holder["transid"] = transid
+            yield from tmf.abort(proc, transid)
+
+        proc = system.spawn("alpha", "$b", body, cpu=3)
+        system.cluster.run(proc.sim_process)
+        transid = holder["transid"]
+        assert transid.home_node == "alpha"
+        assert transid.cpu == 3
+        assert transid.sequence >= 1
+
+
+class TestEndTransactionSemantics:
+    def test_commit_is_irrevocable(self):
+        """'At the completion of the execution of this verb, the
+        transaction's data base updates become permanent and will not
+        under any circumstances be backed out.'  An abort attempt after
+        END must not undo anything."""
+        system = build_simple()
+        tmf = system.tmf["alpha"]
+        client = system.clients["alpha"]
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            yield from client.insert(proc, "t", {"k": 9, "v": 1}, transid=transid)
+            yield from tmf.end(proc, transid)
+            # A later (stale) abort request is a no-op on the outcome.
+            yield from tmf.abort(proc, transid, "too late")
+            record = yield from client.read(proc, "t", (9,))
+            return record, tmf.records[transid].done
+
+        proc = system.spawn("alpha", "$b", body, cpu=0)
+        record, done = system.cluster.run(proc.sim_process)
+        assert record == {"k": 9, "v": 1}
+        assert done == "committed"
+
+    def test_new_transid_per_restart_attempt(self):
+        """'A new transid is obtained for the new attempt at executing
+        the logical transaction.'"""
+        transids = []
+        builder = SystemBuilder(seed=72)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data")
+
+        def program(ctx, data):
+            transids.append(str(ctx.transaction_id))
+            if ctx.attempt < 2:
+                ctx.restart_transaction("again")
+            return "done"
+            yield  # pragma: no cover
+
+        builder.add_tcp("alpha", "$tcp1", cpus=(2, 3), restart_limit=5)
+        builder.add_program("alpha", "$tcp1", "p", program)
+        builder.add_terminal("alpha", "$tcp1", "T0", "p")
+        system = builder.build()
+        reply = system.drive("alpha", "$tcp1", "T0", {})
+        assert reply["ok"] and reply["attempts"] == 3
+        assert len(set(transids)) == 3, "every attempt got a fresh transid"

@@ -1,0 +1,223 @@
+"""The miniature Screen-COBOL-like language: parser, interpreter, and
+end-to-end execution under a TCP."""
+
+import pytest
+
+from repro.apps.banking import bank_server, install_banking, populate_banking
+from repro.encompass import SystemBuilder
+from repro.encompass.scobol import ScobolError, compile_program
+
+
+class FakeCtx:
+    """A stand-in ScreenContext for interpreter-only tests."""
+
+    def __init__(self, replies=()):
+        self.transaction_id = "\\t.0.1"
+        self.attempt = 0
+        self.display_lines = []
+        self.sent = []
+        self._replies = list(replies)
+
+    def send_ok(self, server, payload, timeout=None):
+        self.sent.append((server, payload))
+        reply = self._replies.pop(0) if self._replies else {"ok": True}
+        return reply
+        yield  # pragma: no cover
+
+    def display(self, text):
+        self.display_lines.append(text)
+
+    def abort_transaction(self, reason="abort"):
+        from repro.encompass import AbortTransaction
+        raise AbortTransaction(reason)
+
+    def restart_transaction(self, reason="restart"):
+        from repro.encompass import RestartTransaction
+        raise RestartTransaction(reason)
+
+
+def run(program, ctx, data):
+    gen = program(ctx, data)
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+class TestInterpreter:
+    def test_move_add_return(self):
+        program = compile_program("""
+            PROGRAM arith.
+            MOVE 10 TO X.
+            ADD 5 TO X.
+            SUBTRACT 3 FROM X.
+            RETURN X.
+        """)
+        assert run(program, FakeCtx(), {}) == 12
+
+    def test_input_paths_and_records(self):
+        program = compile_program("""
+            PROGRAM paths.
+            MOVE { item: INPUT.item, qty: INPUT.qty } TO REC.
+            RETURN REC.
+        """)
+        assert run(program, FakeCtx(), {"item": "w", "qty": 3}) == {
+            "item": "w", "qty": 3,
+        }
+
+    def test_send_sets_reply(self):
+        program = compile_program("""
+            PROGRAM sender.
+            SEND { op: "ping" } TO "$srv".
+            RETURN REPLY.answer.
+        """)
+        ctx = FakeCtx(replies=[{"ok": True, "answer": 42}])
+        assert run(program, ctx, {}) == 42
+        assert ctx.sent == [("$srv", {"op": "ping"})]
+
+    def test_if_else(self):
+        program = compile_program("""
+            PROGRAM branch.
+            IF INPUT.amount >= 0 THEN
+                MOVE "credit" TO KIND.
+            ELSE
+                MOVE "debit" TO KIND.
+            END-IF.
+            RETURN KIND.
+        """)
+        assert run(program, FakeCtx(), {"amount": 10}) == "credit"
+        assert run(program, FakeCtx(), {"amount": -1}) == "debit"
+
+    def test_while_loop(self):
+        program = compile_program("""
+            PROGRAM looper.
+            MOVE 0 TO TOTAL.
+            MOVE 0 TO I.
+            WHILE I < 5 DO
+                ADD I TO TOTAL.
+                ADD 1 TO I.
+            END-WHILE.
+            RETURN TOTAL.
+        """)
+        assert run(program, FakeCtx(), {}) == 10
+
+    def test_display(self):
+        program = compile_program("""
+            PROGRAM shower.
+            DISPLAY "balance is" INPUT.balance.
+            RETURN 0.
+        """)
+        ctx = FakeCtx()
+        run(program, ctx, {"balance": 7})
+        assert ctx.display_lines == ["balance is 7"]
+
+    def test_abort_verb(self):
+        from repro.encompass import AbortTransaction
+        program = compile_program("""
+            PROGRAM quitter.
+            ABORT-TRANSACTION "nope".
+        """)
+        with pytest.raises(AbortTransaction):
+            run(program, FakeCtx(), {})
+
+    def test_restart_verb(self):
+        from repro.encompass import RestartTransaction
+        program = compile_program("""
+            PROGRAM retrier.
+            IF ATTEMPT = 0 THEN
+                RESTART-TRANSACTION "try again".
+            END-IF.
+            RETURN "ok".
+        """)
+        with pytest.raises(RestartTransaction):
+            run(program, FakeCtx(), {})
+
+    def test_transactionid_register(self):
+        program = compile_program("""
+            PROGRAM reg.
+            RETURN TRANSACTIONID.
+        """)
+        assert run(program, FakeCtx(), {}) == "\\t.0.1"
+
+    def test_comments_and_blanks_skipped(self):
+        program = compile_program("""
+            PROGRAM commented.
+            * this is a comment
+            MOVE 1 TO X.
+
+            RETURN X.
+        """)
+        assert run(program, FakeCtx(), {}) == 1
+
+
+class TestParseErrors:
+    def test_missing_program_header(self):
+        with pytest.raises(ScobolError):
+            compile_program("MOVE 1 TO X.")
+
+    def test_missing_period(self):
+        with pytest.raises(ScobolError):
+            compile_program("PROGRAM p.\nMOVE 1 TO X")
+
+    def test_unterminated_if(self):
+        with pytest.raises(ScobolError):
+            compile_program("PROGRAM p.\nIF X = 1 THEN.\nMOVE 1 TO Y.")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ScobolError):
+            compile_program("PROGRAM p.\nFROB X.")
+
+    def test_bad_comparator(self):
+        with pytest.raises(ScobolError):
+            compile_program("PROGRAM p.\nIF A ! B THEN.\nEND-IF.")
+
+    def test_undefined_variable_at_runtime(self):
+        program = compile_program("PROGRAM p.\nRETURN NOPE.")
+        with pytest.raises(ScobolError):
+            run(program, FakeCtx(), {})
+
+    def test_runaway_loop_guarded(self):
+        program = compile_program("""
+            PROGRAM spin.
+            MOVE 0 TO X.
+            WHILE X = 0 DO
+                ADD 0 TO X.
+            END-WHILE.
+        """)
+        with pytest.raises(ScobolError):
+            run(program, FakeCtx(), {})
+
+
+class TestEndToEnd:
+    def test_scobol_posting_under_tcp(self):
+        """A Screen-COBOL-like requester drives the banking server
+        through a real TCP, committing a TMF transaction."""
+        builder = SystemBuilder(seed=19)
+        builder.add_node("alpha", cpus=4)
+        builder.add_volume("alpha", "$data", cpus=(0, 1))
+        install_banking(builder, "alpha", "$data", server_instances=2)
+        program = compile_program("""
+            PROGRAM post-and-report.
+            MOVE { op: "post", account_id: INPUT.account_id,
+                   teller_id: INPUT.teller_id, branch_id: INPUT.branch_id,
+                   amount: INPUT.amount } TO REQUEST.
+            SEND REQUEST TO "$bank".
+            DISPLAY "NEW BALANCE" REPLY.balance.
+            IF REPLY.balance < 0 THEN
+                ABORT-TRANSACTION "overdrawn".
+            END-IF.
+            RETURN REPLY.balance.
+        """)
+        builder.add_tcp("alpha", "$tcp1", cpus=(2, 3))
+        builder.add_program("alpha", "$tcp1", "post", program)
+        builder.add_terminal("alpha", "$tcp1", "T1", "post")
+        system = builder.build()
+        populate_banking(system, "alpha", branches=2, tellers_per_branch=2,
+                         accounts=4)
+        reply = system.drive("alpha", "$tcp1", "T1", {
+            "account_id": 1, "teller_id": 0, "branch_id": 1, "amount": 25,
+        })
+        assert reply["ok"]
+        assert reply["result"] == 1025
+        assert reply["display"] == ["NEW BALANCE 1025"]

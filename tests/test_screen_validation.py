@@ -1,0 +1,103 @@
+"""TCP field validation: bad input screens are rejected before any
+transaction begins (§Terminal Management: "data validation ... field
+validation for a single terminal")."""
+
+import pytest
+
+from repro.apps.banking import (
+    debit_credit_program,
+    install_banking,
+    populate_banking,
+)
+from repro.encompass import ScreenField, SystemBuilder
+
+
+POSTING_SCREEN = (
+    ScreenField("account_id", kind="int", minimum=0),
+    ScreenField("teller_id", kind="int", minimum=0, maximum=7),
+    ScreenField("branch_id", kind="int", choices=(0, 1)),
+    ScreenField("amount", kind="int", minimum=-1000, maximum=1000),
+    ScreenField("memo", kind="str", required=False, max_length=8),
+)
+
+
+@pytest.fixture
+def system():
+    builder = SystemBuilder(seed=91)
+    builder.add_node("alpha", cpus=4)
+    builder.add_volume("alpha", "$data", cpus=(0, 1))
+    install_banking(builder, "alpha", "$data")
+    builder.add_tcp("alpha", "$tcp1", cpus=(2, 3))
+    builder.add_program("alpha", "$tcp1", "post", debit_credit_program,
+                        screen=POSTING_SCREEN)
+    builder.add_terminal("alpha", "$tcp1", "T1", "post")
+    system = builder.build()
+    populate_banking(system, "alpha", branches=2, tellers_per_branch=4,
+                     accounts=8)
+    return system
+
+
+GOOD = {"account_id": 1, "teller_id": 0, "branch_id": 1, "amount": 10}
+
+
+class TestScreenFieldUnit:
+    def test_required_missing(self):
+        assert "required" in ScreenField("x").validate({})
+        assert ScreenField("x", required=False).validate({}) is None
+
+    def test_int_bounds(self):
+        field = ScreenField("n", kind="int", minimum=1, maximum=5)
+        assert field.validate({"n": 0}) is not None
+        assert field.validate({"n": 6}) is not None
+        assert field.validate({"n": 3}) is None
+        assert "numeric" in field.validate({"n": "three"})
+        assert "numeric" in field.validate({"n": True})
+
+    def test_str_length_and_type(self):
+        field = ScreenField("s", kind="str", max_length=3)
+        assert field.validate({"s": "abcd"}) is not None
+        assert field.validate({"s": "ab"}) is None
+        assert "text" in field.validate({"s": 7})
+
+    def test_choices(self):
+        field = ScreenField("c", kind="int", choices=(1, 2))
+        assert field.validate({"c": 3}) is not None
+        assert field.validate({"c": 2}) is None
+
+
+class TestTcpValidation:
+    def test_valid_input_processes(self, system):
+        reply = system.drive("alpha", "$tcp1", "T1", dict(GOOD))
+        assert reply["ok"]
+
+    def test_missing_field_rejected_without_transaction(self, system):
+        tmf = system.tmf["alpha"]
+        commits_before = tmf.commits
+        aborts_before = tmf.aborts
+        bad = dict(GOOD)
+        del bad["amount"]
+        reply = system.drive("alpha", "$tcp1", "T1", bad)
+        assert reply == {
+            "ok": False, "error": "field_errors", "fields": ["amount: required"],
+        }
+        # No transaction was begun for the invalid screen.
+        assert tmf.commits == commits_before
+        assert tmf.aborts == aborts_before
+
+    def test_out_of_range_amount_rejected(self, system):
+        bad = dict(GOOD, amount=99999)
+        reply = system.drive("alpha", "$tcp1", "T1", bad)
+        assert reply["error"] == "field_errors"
+        assert any("amount" in e for e in reply["fields"])
+
+    def test_multiple_errors_reported_together(self, system):
+        bad = dict(GOOD, teller_id=99, branch_id=7)
+        reply = system.drive("alpha", "$tcp1", "T1", bad)
+        assert len(reply["fields"]) == 2
+
+    def test_optional_field_validated_when_present(self, system):
+        reply = system.drive("alpha", "$tcp1", "T1",
+                             dict(GOOD, memo="way too long memo"))
+        assert reply["error"] == "field_errors"
+        reply = system.drive("alpha", "$tcp1", "T1", dict(GOOD, memo="ok"))
+        assert reply["ok"]

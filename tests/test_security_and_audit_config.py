@@ -1,0 +1,202 @@
+"""Security controls (§Data Base Management feature 5) and multiple
+AUDITPROCESS configuration (§Audit Trails)."""
+
+import pytest
+
+from repro.core import Transid
+from repro.discprocess import (
+    FileSchema,
+    KEY_SEQUENCED,
+    PartitionSpec,
+    SecuritySpec,
+    SecurityViolationError,
+)
+from repro.encompass import SystemBuilder
+
+
+class TestSecuritySpec:
+    def test_default_allows_everything(self):
+        spec = SecuritySpec()
+        assert spec.allows("read", "alpha.$anything")
+        assert spec.allows("write", "beta.$x")
+
+    def test_patterns_per_function(self):
+        spec = SecuritySpec(read=("*",), write=("alpha.$bank-*",))
+        assert spec.allows("read", "beta.$report")
+        assert spec.allows("write", "alpha.$bank-2")
+        assert not spec.allows("write", "beta.$bank-1")
+        assert not spec.allows("write", "alpha.$rogue")
+
+    def test_node_scoped_pattern(self):
+        spec = SecuritySpec(read=("hq.*",), write=("hq.*",))
+        assert spec.allows("read", "hq.$any")
+        assert not spec.allows("read", "branch.$any")
+
+
+class TestEnforcement:
+    def _build(self):
+        builder = SystemBuilder(seed=55)
+        builder.add_node("alpha", cpus=4)
+        builder.add_node("beta", cpus=2)
+        builder.add_volume("alpha", "$data", cpus=(0, 1))
+        builder.define_file(
+            FileSchema(
+                name="payroll",
+                organization=KEY_SEQUENCED,
+                primary_key=("emp",),
+                audited=True,
+                partitions=(PartitionSpec("alpha", "$data"),),
+                security=SecuritySpec(
+                    read=("alpha.*",),           # any alpha process may read
+                    write=("alpha.$payroll*",),  # only the payroll server writes
+                ),
+            )
+        )
+        return builder.build()
+
+    def test_authorized_writer(self):
+        system = self._build()
+        tmf = system.tmf["alpha"]
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            yield from system.clients["alpha"].insert(
+                proc, "payroll", {"emp": 1, "salary": 10}, transid=transid
+            )
+            yield from tmf.end(proc, transid)
+            return True
+
+        proc = system.spawn("alpha", "$payroll-1", body, cpu=0)
+        assert system.cluster.run(proc.sim_process)
+
+    def test_unauthorized_writer_rejected(self):
+        system = self._build()
+        tmf = system.tmf["alpha"]
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            try:
+                yield from system.clients["alpha"].insert(
+                    proc, "payroll", {"emp": 2, "salary": 10}, transid=transid
+                )
+            except SecurityViolationError:
+                yield from tmf.abort(proc, transid, "denied")
+                return "denied"
+
+        proc = system.spawn("alpha", "$rogue", body, cpu=0)
+        assert system.cluster.run(proc.sim_process) == "denied"
+
+    def test_network_node_control(self):
+        """Access 'by network node': beta processes may not even read."""
+        system = self._build()
+
+        def body(proc):
+            try:
+                yield from system.clients["beta"].read(proc, "payroll", (1,))
+            except SecurityViolationError:
+                return "denied"
+
+        proc = system.spawn("beta", "$reader", body, cpu=0)
+        assert system.cluster.run(proc.sim_process) == "denied"
+
+    def test_reads_allowed_where_writes_denied(self):
+        system = self._build()
+        tmf = system.tmf["alpha"]
+
+        def seed(proc):
+            transid = yield from tmf.begin(proc)
+            yield from system.clients["alpha"].insert(
+                proc, "payroll", {"emp": 5, "salary": 1}, transid=transid
+            )
+            yield from tmf.end(proc, transid)
+
+        proc = system.spawn("alpha", "$payroll-9", seed, cpu=0)
+        system.cluster.run(proc.sim_process)
+
+        def body(proc):
+            record = yield from system.clients["alpha"].read(proc, "payroll", (5,))
+            return record
+
+        proc = system.spawn("alpha", "$report", body, cpu=1)
+        assert system.cluster.run(proc.sim_process)["salary"] == 1
+
+
+class TestMultipleAuditProcesses:
+    def test_volumes_on_separate_trails(self):
+        builder = SystemBuilder(seed=57)
+        builder.add_node("alpha", cpus=4)
+        second = builder.add_audit_process("alpha", "$aud2", cpus=(0, 1))
+        builder.add_volume("alpha", "$d1", cpus=(0, 1))  # default "$aud"
+        builder.add_volume("alpha", "$d2", cpus=(2, 3),
+                           audit_process_name="$aud2")
+        for name, volume in (("f1", "$d1"), ("f2", "$d2")):
+            builder.define_file(
+                FileSchema(
+                    name=name,
+                    organization=KEY_SEQUENCED,
+                    primary_key=("k",),
+                    audited=True,
+                    partitions=(PartitionSpec("alpha", volume),),
+                )
+            )
+        system = builder.build()
+        tmf = system.tmf["alpha"]
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            yield from system.clients["alpha"].insert(
+                proc, "f1", {"k": 1}, transid=transid
+            )
+            yield from system.clients["alpha"].insert(
+                proc, "f2", {"k": 1}, transid=transid
+            )
+            yield from tmf.end(proc, transid)
+            return True
+
+        proc = system.spawn("alpha", "$t", body, cpu=0)
+        assert system.cluster.run(proc.sim_process)
+        first = system.audit_processes["alpha"]
+        # Both trails were forced at phase one; each holds only its own
+        # volume's images.
+        from repro.core import AuditRecord
+        first_records = [r for r in first.trail.scan_all() if isinstance(r, AuditRecord)]
+        second_records = [r for r in second.trail.scan_all() if isinstance(r, AuditRecord)]
+        assert {r.volume for r in first_records} == {"$d1"}
+        assert {r.volume for r in second_records} == {"$d2"}
+        assert first.forces >= 1 and second.forces >= 1
+
+    def test_abort_collects_from_both_trails(self):
+        builder = SystemBuilder(seed=58)
+        builder.add_node("alpha", cpus=4)
+        builder.add_audit_process("alpha", "$aud2", cpus=(0, 1))
+        builder.add_volume("alpha", "$d1", cpus=(0, 1))
+        builder.add_volume("alpha", "$d2", cpus=(2, 3),
+                           audit_process_name="$aud2")
+        for name, volume in (("g1", "$d1"), ("g2", "$d2")):
+            builder.define_file(
+                FileSchema(
+                    name=name,
+                    organization=KEY_SEQUENCED,
+                    primary_key=("k",),
+                    audited=True,
+                    partitions=(PartitionSpec("alpha", volume),),
+                )
+            )
+        system = builder.build()
+        tmf = system.tmf["alpha"]
+
+        def body(proc):
+            transid = yield from tmf.begin(proc)
+            yield from system.clients["alpha"].insert(
+                proc, "g1", {"k": 1}, transid=transid
+            )
+            yield from system.clients["alpha"].insert(
+                proc, "g2", {"k": 1}, transid=transid
+            )
+            yield from tmf.abort(proc, transid, "test")
+            one = yield from system.clients["alpha"].read(proc, "g1", (1,))
+            two = yield from system.clients["alpha"].read(proc, "g2", (1,))
+            return one, two
+
+        proc = system.spawn("alpha", "$t", body, cpu=0)
+        assert system.cluster.run(proc.sim_process) == (None, None)

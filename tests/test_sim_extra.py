@@ -1,0 +1,177 @@
+"""Additional kernel, RNG, and tracer coverage."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    ProcessKilled,
+    RandomStreams,
+    SimulationError,
+    Tracer,
+    zipf_weights,
+)
+
+
+class TestRandomStreams:
+    def test_streams_are_independent(self):
+        streams = RandomStreams(seed=1)
+        a1 = [streams["arrivals"].random() for _ in range(5)]
+        streams2 = RandomStreams(seed=1)
+        # Draw from another stream first: 'arrivals' must be unaffected.
+        [streams2["failures"].random() for _ in range(100)]
+        a2 = [streams2["arrivals"].random() for _ in range(5)]
+        assert a1 == a2
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1)["x"].random()
+        b = RandomStreams(seed=2)["x"].random()
+        assert a != b
+
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(seed=0)
+        assert streams["s"] is streams["s"]
+
+
+class TestTracer:
+    def test_counters_without_records(self):
+        tracer = Tracer(keep_records=False)
+        tracer.emit(1.0, "tick", n=1)
+        tracer.emit(2.0, "tick", n=2)
+        assert tracer.count("tick") == 2
+        assert tracer.records == []
+
+    def test_select_filters_fields(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "msg", node="a")
+        tracer.emit(2.0, "msg", node="b")
+        tracer.emit(3.0, "other", node="a")
+        assert [r.time for r in tracer.select("msg", node="a")] == [1.0]
+
+    def test_subscription(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(lambda record: seen.append(record.kind))
+        tracer.emit(1.0, "x")
+        tracer.emit(2.0, "y")
+        assert seen == ["x", "y"]
+
+    def test_record_attribute_access(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "k", value=42)
+        record = tracer.records[0]
+        assert record.value == 42
+        with pytest.raises(AttributeError):
+            record.missing
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x")
+        tracer.clear()
+        assert tracer.count("x") == 0 and tracer.records == []
+
+
+class TestKernelEdges:
+    def test_self_kill_via_cpu_failure_is_safe(self):
+        """A process triggering a failure that kills itself dies at its
+        next yield instead of crashing the kernel."""
+        from repro.guardian import Cluster
+
+        cluster = Cluster(seed=1)
+        cluster.add_node("alpha", cpu_count=2)
+        progressed = []
+
+        def suicidal(proc):
+            yield cluster.env.timeout(1)
+            cluster.node("alpha").fail_cpu(proc.cpu.number)
+            progressed.append("returned from fail()")
+            yield cluster.env.timeout(1)
+            progressed.append("should never run")
+
+        proc = cluster.os("alpha").spawn("$s", 0, suicidal, register=False)
+        cluster.run(until=100)
+        assert progressed == ["returned from fail()"]
+        assert isinstance(proc.sim_process.value, ProcessKilled)
+
+    def test_allof_fails_on_constituent_failure(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(2)
+            raise ValueError("x")
+
+        def waiter():
+            ok = env.timeout(5)
+            bad = env.process(failing())
+            try:
+                yield AllOf(env, [ok, bad])
+            except ValueError:
+                return env.now
+
+        assert env.run(env.process(waiter())) == 2
+
+    def test_interrupt_has_no_effect_on_finished_process(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(quick())
+        env.run(p)
+        p.interrupt("late")  # no-op
+        assert p.value == "done"
+
+    def test_event_cannot_trigger_twice(self):
+        env = Environment()
+        event = Event(env)
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError())
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Event(env).fail("not an exception")
+
+    def test_interrupt_carries_cause_and_leaves_target_pending(self):
+        env = Environment()
+        target = Event(env)
+        seen = {}
+
+        def proc():
+            try:
+                yield target
+            except Interrupt as intr:
+                seen["cause"] = intr.cause
+            return "after"
+
+        p = env.process(proc())
+        env.run(until=1)
+        p.interrupt({"why": "test"})
+        assert env.run(p) == "after"
+        assert seen["cause"] == {"why": "test"}
+        assert not target.triggered
+
+    def test_nested_process_chain_value(self):
+        env = Environment()
+
+        def level(n):
+            if n == 0:
+                yield env.timeout(1)
+                return 0
+            value = yield env.process(level(n - 1))
+            return value + 1
+
+        assert env.run(env.process(level(5))) == 5
+        assert env.now == 1  # only the innermost waited
+
+    def test_peek_and_empty(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7

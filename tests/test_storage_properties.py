@@ -1,0 +1,111 @@
+"""More property tests: relative and entry-sequenced files vs models,
+and structured files surviving flush + cold cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discprocess.blocks import MemoryBlockStore
+from repro.discprocess.cache import BlockCache, CachedVolumeStore
+from repro.discprocess.entryseq import EntrySequencedFile
+from repro.discprocess.keyseq import KeySequencedFile
+from repro.discprocess.relative import RelativeFile, SlotError
+
+
+class TestRelativeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("write"), st.integers(0, 40),
+                          st.integers(0, 99)),
+                st.tuples(st.just("append"), st.integers(0, 99)),
+                st.tuples(st.just("delete"), st.integers(0, 40)),
+            ),
+            max_size=120,
+        )
+    )
+    def test_matches_dict_model(self, ops):
+        f = RelativeFile(MemoryBlockStore(), "r", slots_per_block=4, create=True)
+        model = {}
+        next_number = 0
+        for op in ops:
+            if op[0] == "write":
+                _tag, number, value = op
+                f.write(number, value)
+                model[number] = value
+                next_number = max(next_number, number + 1)
+            elif op[0] == "append":
+                _tag, value = op
+                got = f.append(value)
+                assert got == next_number
+                model[next_number] = value
+                next_number += 1
+            else:
+                _tag, number = op
+                if model.get(number) is not None:
+                    assert f.delete(number) == model[number]
+                    model[number] = None
+                else:
+                    with pytest.raises(SlotError):
+                        f.delete(number)
+        assert f.next_record_number == next_number
+        live = {n: v for n, v in model.items() if v is not None}
+        assert dict(f.scan()) == live
+        assert f.record_count == len(live)
+
+
+class TestEntrySequencedProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 999), max_size=100),
+        voids=st.lists(st.integers(0, 120), max_size=20),
+    )
+    def test_append_void_scan(self, values, voids):
+        f = EntrySequencedFile(MemoryBlockStore(), "e", entries_per_block=4,
+                               create=True)
+        for value in values:
+            f.append(value)
+        model = dict(enumerate(values))
+        for esn in voids:
+            if esn < len(values):
+                f.void(esn)
+                model[esn] = None
+            else:
+                with pytest.raises(KeyError):
+                    f.void(esn)
+        assert f.record_count == len(values)
+        expected = [(esn, v) for esn, v in model.items() if v is not None]
+        assert f.scan() == expected
+        for esn in range(len(values) + 3):
+            assert f.read(esn) == model.get(esn)
+
+
+class TestColdCacheDurability:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 200), unique=True, min_size=1,
+                      max_size=80),
+        capacity=st.integers(2, 16),
+    )
+    def test_flush_then_cold_read_equals_hot_state(self, keys, capacity):
+        """Any write-back state, once flushed, survives a cache wipe."""
+        physical = {}
+        cache = BlockCache(capacity=capacity)
+        store = CachedVolumeStore(
+            cache,
+            physical_read=lambda key: physical.get(key),
+            physical_write=lambda key, block: physical.__setitem__(key, block),
+            physical_delete=lambda key: physical.pop(key, None),
+            list_blocks=lambda f: [k for k in physical if k[0] == f],
+        )
+        tree = KeySequencedFile(store, "t", leaf_capacity=4, fanout=4,
+                                create=True)
+        for key in keys:
+            tree.insert((key,), key * 3)
+        store.flush()
+        cache.clear()
+        assert sorted(k for k, _v in tree.scan()) == sorted((k,) for k in keys)
+        for key in keys:
+            assert tree.read((key,)) == key * 3
+        tree.check_invariants()
