@@ -7,6 +7,8 @@ writes); pytest-benchmark wraps each experiment so the harness also
 reports the wall-clock cost of running it.
 """
 
+import json
+import os
 import random
 
 from repro.apps.banking import (
@@ -33,9 +35,16 @@ def build_banking_system(
     keep_trace=True,
     front_end=False,
     cache_capacity=256,
+    measure=None,
 ):
-    """A standard banking node, optionally with a terminal front-end node."""
-    builder = SystemBuilder(seed=seed, keep_trace=keep_trace)
+    """A standard banking node, optionally with a terminal front-end node.
+
+    ``measure`` defaults to whether ``BENCH_XRAY`` is set, so an XRAY'd
+    harness run measures the same systems it reports on.
+    """
+    if measure is None:
+        measure = bool(os.environ.get("BENCH_XRAY"))
+    builder = SystemBuilder(seed=seed, keep_trace=keep_trace, measure=measure)
     builder.add_node("alpha", cpus=cpus)
     if front_end:
         builder.add_node("term", cpus=2)
@@ -106,3 +115,40 @@ def settle(system, ms=3000.0, node="alpha"):
     proc = system.spawn(node, "$settle",
                         lambda p: (yield system.env.timeout(ms)), cpu=0)
     system.cluster.run(proc.sim_process)
+
+
+BENCH_REPORT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_report.json")
+
+
+def write_bench_report(system, name, extra=None, path=None):
+    """Merge one experiment's XRAY report into ``BENCH_report.json``.
+
+    Each ``bench_*.py`` contributes a section keyed by its experiment
+    name; the file accumulates across a harness run so a whole sweep
+    lands in one artifact.
+    """
+    path = path or BENCH_REPORT_PATH
+    try:
+        with open(path) as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    section = system.xray_report()
+    if extra:
+        section["experiment"] = dict(extra)
+    merged[name] = section
+    with open(path, "w") as handle:
+        json.dump(merged, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return section
+
+
+def maybe_dump_report(system, name, extra=None):
+    """Dump the XRAY report when ``BENCH_XRAY`` is set in the environment.
+
+    Benchmarks stay report-free by default (the harness compares plain
+    counters); ``BENCH_XRAY=1 pytest benchmarks/...`` adds the artifact.
+    """
+    if not os.environ.get("BENCH_XRAY"):
+        return None
+    return write_bench_report(system, name, extra=extra)

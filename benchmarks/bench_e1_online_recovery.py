@@ -15,7 +15,7 @@ during the 800 ms outage window, and after — the system never stops, and
 consistency holds throughout.
 """
 
-from _common import build_banking_system, drive_banking, settle
+from _common import build_banking_system, drive_banking, maybe_dump_report, settle
 from repro.apps.banking import check_consistency
 from repro.workloads import format_table
 
@@ -35,6 +35,7 @@ def run_episode(fail_cpu):
     system.spawn("alpha", "$chaos", chaos, cpu=(fail_cpu + 1) % 4)
     result = drive_banking(system, terminals, duration=6000.0, accounts=32)
     settle(system)
+    maybe_dump_report(system, f"e1_online_recovery_cpu{fail_cpu}")
     report = check_consistency(system, "alpha")
     windows = {"before": 0, "during": 0, "after": 0}
     for metric in result.metrics:

@@ -11,6 +11,7 @@ Reproduced: END-TRANSACTION latency and message counts for a transaction
 touching 1, 2 and 3 nodes of a 5-node network.
 """
 
+from _common import maybe_dump_report
 from repro.core import TransactionAborted
 from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
 from repro.encompass import SystemBuilder
@@ -86,6 +87,7 @@ def test_e3_cost_grows_with_participants_not_network(benchmark):
                 "network_msgs_per_tx": out["network_msgs"],
                 "state_broadcasts_per_tx": out["broadcasts"],
             })
+        maybe_dump_report(system, "e3_commit_protocols")
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -15,7 +15,7 @@ graph detector can see, at the cost of also aborting some innocent
 
 import random
 
-from _common import build_banking_system, settle
+from _common import build_banking_system, maybe_dump_report, settle
 from repro.apps.banking import check_consistency
 from repro.workloads import KeyChooser, format_table, run_closed_loop
 
@@ -41,6 +41,7 @@ def run_skew(skew, accounts=16, duration=4000.0):
         duration=duration, think_time=10.0, rng=rng,
     )
     settle(system)
+    maybe_dump_report(system, f"e4_locking_skew{skew}")
     dp = system.disc_processes[("alpha", "$data")]
     report = check_consistency(system, "alpha")
     assert report["consistent"]

@@ -10,7 +10,7 @@ work) and the paper's stated trade — rollforward time grows with the
 amount of audit written since the archive.
 """
 
-from _common import build_banking_system, drive_banking, settle
+from _common import build_banking_system, drive_banking, maybe_dump_report, settle
 from repro.apps.banking import check_consistency
 from repro.core import Rollforward, dump_volume
 from repro.workloads import format_table
@@ -51,6 +51,7 @@ def run_episode(post_archive_ms):
     proc = system.spawn("alpha", "$rf", recover, cpu=0)
     system.cluster.run(proc.sim_process)
     recovery_ms = system.env.now - start
+    maybe_dump_report(system, f"e5_rollforward_{int(post_archive_ms)}ms")
     after = check_consistency(system, "alpha")
     return {
         "post_archive_load_ms": post_archive_ms,

@@ -12,6 +12,7 @@ Reproduced: the full episode as a table — locks before/during/after, and
 the manual-override variant that frees them without waiting for heal.
 """
 
+from _common import maybe_dump_report
 from repro.core import TmpForceDisposition, TransactionAborted
 from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
 from repro.encompass import SystemBuilder
@@ -93,6 +94,9 @@ def run_episode(use_override):
 
     proc = system.spawn("home", "$body", body, cpu=0)
     system.cluster.run(proc.sim_process)
+    maybe_dump_report(
+        system, f"e6_partition_{'override' if use_override else 'heal'}"
+    )
     return observations
 
 

@@ -97,7 +97,7 @@ def test_e7_alternate_key_maintenance(benchmark):
 def test_e7_cache_hit_ratio_vs_size(benchmark):
     """Bigger cache, better hit ratio, fewer physical reads (simulated
     through a full DISCPROCESS)."""
-    from _common import build_banking_system, drive_banking
+    from _common import build_banking_system, drive_banking, maybe_dump_report
 
     def run_size(capacity):
         system, terminals = build_banking_system(
@@ -105,6 +105,7 @@ def test_e7_cache_hit_ratio_vs_size(benchmark):
             cache_capacity=capacity,
         )
         drive_banking(system, terminals, duration=2500.0, accounts=256)
+        maybe_dump_report(system, f"e7_cache_{capacity}_blocks")
         dp = system.disc_processes[("alpha", "$data")]
         return {
             "cache_blocks": capacity,

@@ -10,17 +10,19 @@ Reproduced: the attempt distribution under heavy contention, the restart
 limit enforced exactly, and voluntary aborts leaving no trace.
 """
 
+import os
 import random
 from collections import Counter
 
-from _common import settle
+from _common import maybe_dump_report, settle
 from repro.apps.banking import check_consistency, install_banking, populate_banking
 from repro.encompass import SystemBuilder
 from repro.workloads import format_table, run_closed_loop
 
 
 def build_transfer_system(restart_limit, seed=97):
-    builder = SystemBuilder(seed=seed, keep_trace=False)
+    builder = SystemBuilder(seed=seed, keep_trace=False,
+                            measure=bool(os.environ.get("BENCH_XRAY")))
     builder.add_node("alpha", cpus=4)
     builder.add_volume("alpha", "$data", cpus=(0, 1))
     install_banking(builder, "alpha", "$data", server_instances=4)
@@ -67,6 +69,7 @@ def test_e8_attempt_distribution_under_contention(benchmark):
             duration=4000.0, think_time=5.0, rng=rng,
         )
         settle(system)
+        maybe_dump_report(system, "e8_restart_contention")
         report = check_consistency(system, "alpha")
         return result, report
 

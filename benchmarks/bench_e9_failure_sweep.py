@@ -13,7 +13,7 @@ debit/credit load; the workload must keep committing and the banking
 invariants must hold at the end.
 """
 
-from _common import build_banking_system, drive_banking, settle
+from _common import build_banking_system, drive_banking, maybe_dump_report, settle
 from repro.apps.banking import check_consistency
 from repro.workloads import format_table
 
@@ -40,6 +40,7 @@ def run_single_failure(component_picker, label):
     system.env.process(chaos(), name="chaos")
     result = drive_banking(system, terminals, duration=4000.0, accounts=32)
     settle(system)
+    maybe_dump_report(system, f"e9_failure_{label.split()[0]}")
     report = check_consistency(system, "alpha")
     committed_after_failure = sum(
         1 for m in result.metrics if m.ok and m.end >= 1200

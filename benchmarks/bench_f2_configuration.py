@@ -8,7 +8,7 @@ expanded from 2 to 8 CPUs (with volumes and servers spread over them) —
 ("normally, all components are active in processing the workload").
 """
 
-from _common import build_banking_system, drive_banking
+from _common import build_banking_system, drive_banking, maybe_dump_report
 from repro.apps.banking import check_consistency
 from repro.workloads import format_table
 
@@ -20,6 +20,7 @@ def run_config(cpus, volumes):
     )
     result = drive_banking(system, terminals, duration=5000.0, accounts=512,
                            think_time=5.0, branches=8, tellers=16)
+    maybe_dump_report(system, f"f2_config_{cpus}cpu_{volumes}vol")
     report = check_consistency(system, "alpha")
     assert report["consistent"]
     return {

@@ -10,7 +10,7 @@ regardless of participation.
 
 from collections import Counter
 
-from _common import build_banking_system, drive_banking, settle
+from _common import build_banking_system, drive_banking, maybe_dump_report, settle
 from repro.core import LEGAL_TRANSITIONS, TxState
 from repro.workloads import format_table
 
@@ -28,6 +28,7 @@ def run_mixed_workload():
     system.spawn("alpha", "$chaos", chaos, cpu=0)
     result = drive_banking(system, terminals, duration=3000.0, accounts=6)
     settle(system)
+    maybe_dump_report(system, "f3_state_machine")
     return system, result
 
 

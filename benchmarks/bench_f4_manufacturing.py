@@ -8,6 +8,7 @@ against the synchronous all-copy design, which loses autonomy: global
 updates fail during the partition.
 """
 
+from _common import maybe_dump_report
 from repro.apps.manufacturing import MANUFACTURING_NODES, build_manufacturing_system
 from repro.workloads import format_table
 
@@ -50,6 +51,7 @@ def run_partition_episode(partition_ms, updates_during=4):
         if _suspense_depth(app, "neufahrn") == 0:
             break
     report = app.convergence_report()
+    maybe_dump_report(system, f"f4_manufacturing_{int(partition_ms)}ms")
     return {
         "partition_ms": partition_ms,
         "updates_during": succeeded,

@@ -270,6 +270,9 @@ class AuditProcess(ConcurrentPair):
         self.forced_block_writes = 0
         # The audit volume's disc also serves one request at a time.
         self._disc_free_at = 0.0
+        #: accumulated trail-disc service time (ms); the XRAY sampler
+        #: derives audit-volume utilization from deltas of this.
+        self.busy_ms = 0.0
 
     def state_defaults(self) -> Dict[str, Any]:
         return {
@@ -327,16 +330,20 @@ class AuditProcess(ConcurrentPair):
 
     def _force(self, proc: OsProcess, message: Message) -> Generator:
         """Write every buffered image to the trail (group commit)."""
+        t0 = self.env.now
+        batch_writes = 0
         buffer: Dict[int, AuditRecord] = self.state["buffer"]
         if buffer:
             indices = sorted(buffer)
             records = [buffer[i] for i in indices]
             block_writes = self.trail.append_many(records)
             self.forced_block_writes += block_writes
+            batch_writes = block_writes
             # Physical write time: sequential trail writes; the mirrored
             # pair proceeds in parallel (one disc_write per two blocks),
             # and concurrent forces queue behind each other.
             cost = block_writes * self.node_os.node.latencies.disc_write / 2
+            self.busy_ms += cost
             start = max(self.env.now, self._disc_free_at)
             self._disc_free_at = start + cost
             yield self.env.timeout(self._disc_free_at - self.env.now)
@@ -351,8 +358,20 @@ class AuditProcess(ConcurrentPair):
         else:
             # An empty force still costs one rotation to write the
             # commit-fence block.
+            self.busy_ms += self.node_os.node.latencies.disc_write / 2
             yield self.env.timeout(self.node_os.node.latencies.disc_write / 2)
         self.forces += 1
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.inc("audit.forces")
+            if batch_writes:
+                metrics.inc("audit.block_writes", batch_writes)
+            metrics.observe("audit.force_ms", self.env.now - t0)
+            transid = getattr(message.payload, "transid", None)
+            if transid is not None and self.env.now > t0:
+                metrics.spans.record(
+                    str(transid), "audit-force", "audit", t0, self.env.now
+                )
         proc.reply(message, {"ok": True, "trail_records": self.trail.total_records})
 
     def _records_for(self, transid: Transid) -> List[AuditRecord]:

@@ -122,6 +122,8 @@ class StateBroadcaster:
                     table.update(source)
             table[transid] = new_state
         self.broadcasts += 1
+        # The broadcast rides the interprocessor bus pair.
+        self.node.buses.record_transfer(self.node.latencies.bus_broadcast)
         if self.tracer is not None:
             self.tracer.emit(
                 self.env.now,

@@ -182,6 +182,16 @@ class TmfNode:
         self.records[transid] = record
         return record
 
+    def _broadcast_timed(
+        self, transid: Transid, new_state: TxState, span_name: str
+    ) -> Generator:
+        """Broadcast a state change, consume its bus time, span it."""
+        t0 = self.env.now
+        yield self.env.timeout(self.broadcaster.broadcast(transid, new_state))
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled and self.env.now > t0:
+            metrics.spans.record(str(transid), span_name, "bus", t0, self.env.now)
+
     # ------------------------------------------------------------------
     # Application entry points (generator helpers)
     # ------------------------------------------------------------------
@@ -189,7 +199,10 @@ class TmfNode:
         """BEGIN-TRANSACTION: new transid, broadcast 'active' node-wide."""
         transid = self.generator.next(proc.cpu.number)
         self._new_record(transid, home=True, origin_cpu=proc.cpu.number)
-        yield self.env.timeout(self.broadcaster.broadcast(transid, TxState.ACTIVE))
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.tx_begin(str(transid), self.env.now)
+        yield from self._broadcast_timed(transid, TxState.ACTIVE, "begin")
         self._trace("begin_transaction", transid=str(transid))
         return transid
 
@@ -273,8 +286,8 @@ class TmfNode:
             return "committed"
         state = self.broadcaster.current_state(transid)
         if state != TxState.ENDING:
-            yield self.env.timeout(
-                self.broadcaster.broadcast(transid, TxState.ENDING)
+            yield from self._broadcast_timed(
+                transid, TxState.ENDING, "commit-broadcast"
             )
         ok = yield from self._phase1_here_and_below(proc, record)
         if not ok:
@@ -293,8 +306,8 @@ class TmfNode:
         """Phase two on this node: ENDED broadcast, unlock, propagate."""
         transid = record.transid
         if self.broadcaster.current_state(transid) == TxState.ENDING:
-            yield self.env.timeout(
-                self.broadcaster.broadcast(transid, TxState.ENDED)
+            yield from self._broadcast_timed(
+                transid, TxState.ENDED, "commit-broadcast"
             )
         yield from self._release_local(proc, record, committed=True)
         for child in sorted(record.children):
@@ -317,9 +330,7 @@ class TmfNode:
         record = self.records.get(transid)
         if record is None:
             record = self._new_record(transid, home=False, parent=parent)
-            yield self.env.timeout(
-                self.broadcaster.broadcast(transid, TxState.ACTIVE)
-            )
+            yield from self._broadcast_timed(transid, TxState.ACTIVE, "begin")
             self._trace("remote_begin_accepted", transid=str(transid), parent=parent)
         return True
 
@@ -333,7 +344,7 @@ class TmfNode:
             return "no"   # unilateral abort already happened: force consensus
         if record.done == "committed" or record.phase1_acked:
             return "yes"
-        yield self.env.timeout(self.broadcaster.broadcast(transid, TxState.ENDING))
+        yield from self._broadcast_timed(transid, TxState.ENDING, "commit-broadcast")
         ok = yield from self._phase1_here_and_below(proc, record)
         if not ok:
             proceed = yield from self._settle_guard(record)
@@ -423,8 +434,8 @@ class TmfNode:
         record.abort_reason = reason
         state = self.broadcaster.current_state(transid)
         if state in (TxState.ACTIVE, TxState.ENDING):
-            yield self.env.timeout(
-                self.broadcaster.broadcast(transid, TxState.ABORTING)
+            yield from self._broadcast_timed(
+                transid, TxState.ABORTING, "abort-broadcast"
             )
         # Quiesce: the ABORTING broadcast stops *new* operations of this
         # transid; wait out any already in flight so the backout sees
@@ -459,7 +470,7 @@ class TmfNode:
         if self.dispositions.get(transid) != "aborted":
             yield from self._write_completion(transid, "aborted")
         self.aborts += 1
-        yield self.env.timeout(self.broadcaster.broadcast(transid, TxState.ABORTED))
+        yield from self._broadcast_timed(transid, TxState.ABORTED, "abort-broadcast")
         yield from self._release_local(proc, record, committed=False)
         for child in sorted(record.children):
             self._queue_safe(child, TmpAbortRemote(transid, reason))
@@ -514,6 +525,11 @@ class TmfNode:
         yield record.settled_event
 
     def _finish_settle(self, record: TransactionRecord, done: str) -> None:
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled:
+            # First settler (home node, normally) closes the span tree;
+            # later settlers of a distributed transaction no-op.
+            metrics.tx_end(str(record.transid), self.env.now, done)
         record.done = done
         record.settling = False
         event, record.settled_event = record.settled_event, None

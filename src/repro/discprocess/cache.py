@@ -46,10 +46,14 @@ class CacheStats:
 class BlockCache:
     """An LRU cache of blocks with dirty tracking."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, metrics: Any = None, name: str = ""):
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
+        self.name = name
+        #: optional XRAY registry; hit/miss counters land there too so a
+        #: measured run can watch cache behaviour over time.
+        self.metrics = metrics
         self._entries: "OrderedDict[BlockKey, Any]" = OrderedDict()
         self._dirty: set = set()
         self._pinned: set = set()
@@ -63,11 +67,16 @@ class BlockCache:
 
     def lookup(self, key: BlockKey) -> Tuple[bool, Any]:
         """Return (hit, block)."""
+        metrics = self.metrics
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if metrics is not None and metrics.enabled:
+                metrics.inc("cache.hits")
             return True, self._entries[key]
         self.stats.misses += 1
+        if metrics is not None and metrics.enabled:
+            metrics.inc("cache.misses")
         return False, None
 
     def install(

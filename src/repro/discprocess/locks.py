@@ -120,14 +120,30 @@ class LockManager:
         waiter = _Waiter(Event(self.env), transid, target)
         self._queues.setdefault(target, deque()).append(waiter)
         self._trace("lock_wait", transid=str(transid), target=target)
+        wait_start = self.env.now
         deadline = self.env.timeout(timeout)
         outcome = yield AnyOf(self.env, [waiter.event, deadline])
         if waiter.event in outcome:
+            self._observe_wait(transid, wait_start, timed_out=False)
             return  # granted by a release
         self._remove_waiter(waiter)
         self.timeouts += 1
         self._trace("lock_timeout", transid=str(transid), target=target)
+        self._observe_wait(transid, wait_start, timed_out=True)
         raise LockTimeout(transid, target)
+
+    def _observe_wait(self, transid: Any, wait_start: float, timed_out: bool) -> None:
+        metrics = self.env.metrics
+        if metrics is None or not metrics.enabled:
+            return
+        waited = self.env.now - wait_start
+        metrics.observe("lock.wait_ms", waited)
+        if timed_out:
+            metrics.inc("lock.timeouts")
+        if waited > 0:
+            metrics.spans.record(
+                str(transid), "lock-wait", "lock", wait_start, self.env.now
+            )
 
     def _grant(self, transid: Any, target: LockTarget) -> None:
         if target[0] == "rec":

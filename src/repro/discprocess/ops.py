@@ -37,7 +37,13 @@ __all__ = [
     "VolumeStats",
     "FlushCache",
     "ERROR_CODES",
+    "op_name",
 ]
+
+
+def op_name(payload: Any) -> str:
+    """The protocol name of a request payload (used as a metric key)."""
+    return type(payload).__name__
 
 #: every error code a DISCPROCESS reply may carry
 ERROR_CODES = (

@@ -62,6 +62,7 @@ from .ops import (
     UpdateRecord,
     VolumeStats,
     WriteSlot,
+    op_name,
 )
 from .records import ENTRY_SEQUENCED, KEY_SEQUENCED, RELATIVE
 from .relative import SlotError
@@ -109,6 +110,11 @@ class DiscProcess(ConcurrentPair):
         # actuator); concurrent operations queue FCFS.  Cache hits are
         # CPU-side and do not queue.
         self._disc_free_at = 0.0
+        #: accumulated physical-disc service time (ms) and in-flight
+        #: request count; the XRAY sampler derives utilization and
+        #: queue depth from these.
+        self.busy_ms = 0.0
+        self.pending_requests = 0
         super().__init__(
             node_os,
             name,
@@ -138,7 +144,9 @@ class DiscProcess(ConcurrentPair):
     # Runtime (volatile) structures: cache, store, files, lock manager
     # ------------------------------------------------------------------
     def _build_runtime(self) -> None:
-        self.cache = BlockCache(self.cache_capacity)
+        self.cache = BlockCache(
+            self.cache_capacity, metrics=self.env.metrics, name=self.name
+        )
         self.store = CachedVolumeStore(
             self.cache,
             physical_read=self._physical_read,
@@ -196,30 +204,49 @@ class DiscProcess(ConcurrentPair):
         if recorded is not None:
             proc.reply(message, recorded)
             return
-        snapshot = self._io_snapshot()
+        self.pending_requests += 1
         try:
-            reply = yield from self._dispatch(proc, message)
-        except LockTimeout:
-            reply = _err("lock_timeout")
-        except DuplicateKey:
-            reply = _err("duplicate_key")
-        except _NoSuchFile as exc:
-            reply = _err("no_such_file", file=str(exc))
-        except _AuditedWithoutTransaction:
-            reply = _err("audit_requires_transaction")
-        except _TxNotActive as exc:
-            reply = _err("tx_not_active", transid=str(exc))
-        except _SecurityViolation as exc:
-            reply = _err("security_violation", detail=str(exc))
-        except (KeyNotFound, SlotError):
-            reply = _err("not_found")
-        except VolumeUnavailable:
-            self.crashed = True
-            self._trace("volume_crashed")
-            proc.reply(message, _err("volume_down"))
-            return
-        yield from self._charge_io(snapshot)
-        proc.reply(message, reply)
+            snapshot = self._io_snapshot()
+            try:
+                reply = yield from self._dispatch(proc, message)
+            except LockTimeout:
+                reply = _err("lock_timeout")
+            except DuplicateKey:
+                reply = _err("duplicate_key")
+            except _NoSuchFile as exc:
+                reply = _err("no_such_file", file=str(exc))
+            except _AuditedWithoutTransaction:
+                reply = _err("audit_requires_transaction")
+            except _TxNotActive as exc:
+                reply = _err("tx_not_active", transid=str(exc))
+            except _SecurityViolation as exc:
+                reply = _err("security_violation", detail=str(exc))
+            except (KeyNotFound, SlotError):
+                reply = _err("not_found")
+            except VolumeUnavailable:
+                self.crashed = True
+                self._trace("volume_crashed")
+                proc.reply(message, _err("volume_down"))
+                return
+            io_start = self.env.now
+            yield from self._charge_io(snapshot)
+            metrics = self.env.metrics
+            if metrics is not None and metrics.enabled:
+                metrics.inc(f"disc.ops.{op_name(message.payload)}")
+                io_ms = self.env.now - io_start
+                if io_ms > 0:
+                    metrics.observe("disc.op_ms", io_ms)
+                    if message.transid is not None:
+                        metrics.spans.record(
+                            str(message.transid),
+                            "disc-io",
+                            "disc",
+                            io_start,
+                            self.env.now,
+                        )
+            proc.reply(message, reply)
+        finally:
+            self.pending_requests -= 1
 
     _TRACKED_OPS = (
         InsertRecord,
@@ -887,12 +914,17 @@ class DiscProcess(ConcurrentPair):
             + (self.store.counters.writes - writes) * latencies.disc_write
         )
         if physical > 0:
+            self.busy_ms += physical
             start = max(self.env.now, self._disc_free_at)
             self._disc_free_at = start + physical
             # Queueing delay + service time behind earlier requests.
             yield self.env.timeout(self._disc_free_at - self.env.now)
         hit_cost = (self.cache.stats.hits - hits) * latencies.cache_hit
         if hit_cost > 0:
+            # Cache hits cost CPU in the DISCPROCESS's processor, not
+            # disc-arm time.
+            if self.primary_cpu is not None:
+                self.node_os.node.cpus[self.primary_cpu].charge(hit_cost)
             yield self.env.timeout(hit_cost)
 
 

@@ -28,6 +28,8 @@ from ..core import AuditProcess, AuditTrail, TmfConfig, TmfNode
 from ..discprocess import DataDictionary, DiscProcess, FileClient, FileSchema
 from ..guardian import Cluster, NodeOs
 from ..hardware import Latencies
+from ..measure import NULL_REGISTRY, MetricsRegistry, Sampler
+from ..measure.report import build_report, render_report, to_json, write_report
 from .server import PathwayMonitor, ServerClass, ServerHandler
 from .tcp import TerminalControlProcess, TerminalInput
 from .verbs import ScreenContext
@@ -48,6 +50,7 @@ class EncompassSystem:
         self.server_classes: Dict[Tuple[str, str], ServerClass] = {}
         self.tcps: Dict[Tuple[str, str], TerminalControlProcess] = {}
         self.pathway_monitors: Dict[str, PathwayMonitor] = {}
+        self.sampler: Optional[Sampler] = None
         self._driver_seq = 0
 
     # ------------------------------------------------------------------
@@ -58,6 +61,11 @@ class EncompassSystem:
     @property
     def tracer(self):
         return self.cluster.tracer
+
+    @property
+    def metrics(self):
+        """The XRAY registry (the no-op null registry when unmeasured)."""
+        return self.cluster.metrics if self.cluster.metrics is not None else NULL_REGISTRY
 
     def node_os(self, node: str) -> NodeOs:
         return self.cluster.os(node)
@@ -127,6 +135,26 @@ class EncompassSystem:
             for node, tmf in self.tmf.items()
         }
 
+    # ------------------------------------------------------------------
+    # XRAY (measurement subsystem)
+    # ------------------------------------------------------------------
+    def xray_report(self) -> Dict[str, Any]:
+        """The structured XRAY run report (works for unmeasured runs too,
+        with the metric sections empty)."""
+        return build_report(self)
+
+    def xray_json(self) -> str:
+        """The run report as canonical (deterministic) JSON."""
+        return to_json(self.xray_report())
+
+    def xray_screen(self) -> str:
+        """The human-readable XRAY screen."""
+        return render_report(self.xray_report())
+
+    def write_xray(self, path: Any) -> Dict[str, Any]:
+        """Write the JSON run report to ``path``; returns the report."""
+        return write_report(self, path)
+
 
 class SystemBuilder:
     """Builds an :class:`EncompassSystem` step by declarative step."""
@@ -138,12 +166,18 @@ class SystemBuilder:
         keep_trace: bool = True,
         tmf_config: Optional[TmfConfig] = None,
         auto_connect: bool = True,
+        measure: bool = False,
+        sample_interval: float = 100.0,
     ):
-        self.cluster = Cluster(seed=seed, latencies=latencies, keep_trace=keep_trace)
+        metrics = MetricsRegistry() if measure else None
+        self.cluster = Cluster(
+            seed=seed, latencies=latencies, keep_trace=keep_trace, metrics=metrics
+        )
         self.dictionary = DataDictionary()
         self.system = EncompassSystem(self.cluster, self.dictionary)
         self.tmf_config = tmf_config
         self.auto_connect = auto_connect
+        self.sample_interval = sample_interval
         self._built = False
 
     # ------------------------------------------------------------------
@@ -332,4 +366,13 @@ class SystemBuilder:
         node_os = self.cluster.os(ddl_node)
         proc = node_os.spawn("$ddl", 0, ddl, register=False)
         self.cluster.run(proc.sim_process)
+        if self.cluster.metrics is not None:
+            # Utilization sampling only on measured runs: the sampler is
+            # read-only with respect to simulated state, so the event
+            # history replays identically, but its events would still
+            # keep a run-to-exhaustion env.run() alive longer.
+            self.system.sampler = Sampler(
+                self.system, interval=self.sample_interval
+            )
+            self.system.sampler.install()
         return self.system

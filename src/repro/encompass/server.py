@@ -202,6 +202,7 @@ class ServerClass:
         while True:
             message = yield from proc.receive()
             context = ServerContext(proc, self.client, message)
+            handle_start = self.env.now
             try:
                 reply = yield from self.handler(context, message.payload)
             except LockTimeoutError:
@@ -216,6 +217,10 @@ class ServerClass:
                                      "detail": f"{type(exc).__name__}: {exc}"})
                 continue
             self.requests_served += 1
+            metrics = self.env.metrics
+            if metrics is not None and metrics.enabled:
+                metrics.inc("server.requests")
+                metrics.observe("server.handle_ms", self.env.now - handle_start)
             proc.reply(message, reply if reply is not None else {"ok": True})
 
 

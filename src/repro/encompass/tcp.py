@@ -218,7 +218,16 @@ class TerminalControlProcess(ConcurrentPair):
         yield from self.checkpoint_update(
             "inputs", updates={message.msg_id: payload}
         )
+        unit_start = self.env.now
         result = yield from self._run_unit(proc, message, payload)
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.observe("unit.latency_ms", self.env.now - unit_start)
+            outcome = "committed" if result.get("ok") else "aborted"
+            metrics.inc(f"unit.{outcome}")
+            restarts = result.get("attempts", 1) - 1
+            if restarts > 0:
+                metrics.inc("unit.restarts", restarts)
         yield from self.checkpoint_update(
             "completed", updates={message.msg_id: result}
         )

@@ -28,8 +28,13 @@ class Cluster:
         seed: int = 0,
         latencies: Optional[Latencies] = None,
         keep_trace: bool = True,
+        metrics: Optional[Any] = None,
     ):
         self.env = Environment()
+        # The XRAY metrics registry rides on the environment so every
+        # layer can probe it without plumbing; None = unmeasured run.
+        self.metrics = metrics
+        self.env.metrics = metrics
         self.tracer = Tracer(keep_records=keep_trace)
         self.streams = RandomStreams(seed)
         self.latencies = latencies or Latencies()

@@ -128,18 +128,35 @@ class MessageSystem:
     def _transit_latency(
         self, source_node: str, source_cpu: int, dest_node: str, dest_cpu: int
     ) -> float:
-        """One-way latency, or raise :class:`PathDown`."""
+        """One-way latency, or raise :class:`PathDown`.
+
+        Also the accounting point for what the transit occupies: a local
+        message is CPU work on the sender; an intra-node message holds
+        an interprocessor bus for its duration.
+        """
+        metrics = self.env.metrics
         if source_node == dest_node:
-            if source_cpu == dest_cpu:
-                return self.latencies.local_message
             node = self._node_os[source_node].node
+            if source_cpu == dest_cpu:
+                latency = self.latencies.local_message
+                node.cpus[source_cpu].charge(latency)
+                if metrics is not None and metrics.enabled:
+                    metrics.inc("msg.local")
+                return latency
             if not node.buses.any_up:
                 raise PathDown(f"both interprocessor buses down on {source_node}")
-            return self.latencies.bus_message
+            latency = self.latencies.bus_message
+            node.buses.record_transfer(latency)
+            if metrics is not None and metrics.enabled:
+                metrics.inc("msg.bus")
+            return latency
         try:
-            return self.network.latency(source_node, dest_node)
+            latency = self.network.latency(source_node, dest_node)
         except NoRoute as exc:
             raise PathDown(str(exc)) from exc
+        if metrics is not None and metrics.enabled:
+            metrics.inc("msg.network")
+        return latency
 
     def reachable(self, source_node: str, dest_node: str) -> bool:
         if source_node == dest_node:

@@ -146,6 +146,11 @@ class ProcessPair:
             self.state[key] = value
         if self.backup_cpu is not None:
             if _charge:
+                # A checkpoint is an interprocessor message: it occupies
+                # a bus for its duration.
+                self.node_os.node.buses.record_transfer(
+                    self.node_os.node.latencies.checkpoint
+                )
                 yield self.env.timeout(self.node_os.node.latencies.checkpoint)
                 self.checkpoints_sent += 1
                 self._trace("checkpoint", keys=sorted(entries))
@@ -175,6 +180,9 @@ class ProcessPair:
             table_state.pop(key, None)
         if self.backup_cpu is not None:
             if _charge:
+                self.node_os.node.buses.record_transfer(
+                    self.node_os.node.latencies.checkpoint
+                )
                 yield self.env.timeout(self.node_os.node.latencies.checkpoint)
                 self.checkpoints_sent += 1
                 self._trace("checkpoint", table=table)

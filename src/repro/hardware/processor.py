@@ -45,6 +45,13 @@ class Cpu(Component):
         self.number = number
         self.memory_mb = memory_mb
         self.channel = IoChannel(env, self, tracer)
+        #: accumulated busy time (ms); the XRAY sampler reads deltas of
+        #: this to derive busy fraction per interval.
+        self.busy_ms = 0.0
+
+    def charge(self, ms: float) -> None:
+        """Account ``ms`` of processing time to this CPU."""
+        self.busy_ms += ms
 
     def on_fail(self, reason: Any) -> None:
         # The I/O channel is part of the processor module: it shares the

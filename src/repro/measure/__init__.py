@@ -1,0 +1,38 @@
+"""XRAY: the online measurement subsystem.
+
+Simulation-time observability for the reproduction, named for Tandem's
+XRAY performance monitor (the tool ENCOMPASS operators used to watch
+CPU, bus, disc, and process activity on a live system):
+
+* :mod:`repro.measure.registry` — named counters, gauges, and log-scale
+  histograms (p50/p90/p99 without storing samples);
+* :mod:`repro.measure.spans` — per-transaction phase spans and the
+  critical-path breakdown of where latency went;
+* :mod:`repro.measure.sampler` — periodic component-utilization
+  sampling;
+* :mod:`repro.measure.report` — deterministic JSON run reports and the
+  human-readable "XRAY screen".
+
+Enable it with ``SystemBuilder(measure=True)``; unmeasured systems carry
+``env.metrics = None`` and every probe site is a guarded no-op.
+"""
+
+from .registry import Histogram, MetricsRegistry, NullRegistry, NULL_REGISTRY
+from .report import build_report, render_report, to_json, write_report
+from .sampler import Sampler
+from .spans import CATEGORIES, Span, SpanLog
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Sampler",
+    "Span",
+    "SpanLog",
+    "CATEGORIES",
+    "build_report",
+    "render_report",
+    "to_json",
+    "write_report",
+]

@@ -1,0 +1,264 @@
+"""Named metrics: counters, gauges, and log-scale histograms.
+
+The XRAY measurement subsystem's data model.  A :class:`MetricsRegistry`
+holds every metric of one simulation run; probes throughout the stack
+reach it as ``env.metrics`` and record through four verbs — ``inc``
+(counter), ``set_gauge``, ``observe`` (histogram), and the transaction
+span hooks ``tx_begin``/``tx_end``.
+
+Unmeasured runs carry a :class:`NullRegistry` (``enabled`` is False and
+every verb is a no-op), so instrumented hot paths pay only a guarded
+attribute test — pay-for-what-you-measure.
+
+The :class:`Histogram` uses fixed log-scale buckets (a configurable
+number per decade), so p50/p90/p99 are computed without storing samples:
+any reported quantile is within one bucket's relative width of the exact
+sample quantile, and count/mean/min/max are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from .spans import NULL_SPANS, SpanLog
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Histogram:
+    """Fixed-bucket log-scale histogram with exact count/sum/min/max.
+
+    Values are assigned to geometric buckets between ``lo`` and ``hi``
+    (``buckets_per_decade`` per factor of ten).  Quantiles are read back
+    as the geometric midpoint of the bucket holding the requested rank,
+    clamped to the observed [min, max] — so the relative error of any
+    percentile is bounded by half a bucket width
+    (``10**(0.5/buckets_per_decade) - 1``; ~2.3% at the default 50).
+    """
+
+    __slots__ = (
+        "name", "lo", "hi", "buckets_per_decade", "_log_growth",
+        "_bucket_count", "counts", "count", "total", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        lo: float = 1e-3,
+        hi: float = 1e7,
+        buckets_per_decade: int = 50,
+    ):
+        if not (lo > 0 and hi > lo and buckets_per_decade >= 1):
+            raise ValueError("need 0 < lo < hi and buckets_per_decade >= 1")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.buckets_per_decade = buckets_per_decade
+        self._log_growth = math.log(10.0) / buckets_per_decade
+        self._bucket_count = (
+            int(math.ceil(math.log10(hi / lo) * buckets_per_decade)) + 2
+        )
+        # Sparse: bucket index -> count.  Index 0 is the underflow bucket
+        # (v <= lo); the last index is the overflow bucket (v >= hi).
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    def _index_of(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        if value >= self.hi:
+            return self._bucket_count - 1
+        # Bucket i (1-based) covers (lo * g**(i-1), lo * g**i].
+        index = 1 + int(math.log(value / self.lo) / self._log_growth)
+        return min(max(index, 1), self._bucket_count - 2)
+
+    def bucket_bounds(self, index: int) -> tuple:
+        """(low, high] value bounds of bucket ``index``."""
+        if index <= 0:
+            return (0.0, self.lo)
+        if index >= self._bucket_count - 1:
+            return (self.hi, math.inf)
+        return (
+            self.lo * math.exp((index - 1) * self._log_growth),
+            self.lo * math.exp(index * self._log_growth),
+        )
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = self._index_of(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]), within one bucket's resolution."""
+        if self.count == 0:
+            return 0.0
+        q = min(max(q, 0.0), 1.0)
+        rank = min(max(int(math.ceil(q * self.count)), 1), self.count)
+        if rank == self.count:
+            return self.max
+        cumulative = 0
+        index = 0
+        for index in sorted(self.counts):
+            cumulative += self.counts[index]
+            if cumulative >= rank:
+                break
+        low, high = self.bucket_bounds(index)
+        if not math.isfinite(high):          # overflow bucket
+            return self.max
+        representative = math.sqrt(max(low, self.lo * 1e-12) * high)
+        return min(max(representative, self.min), self.max)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` (same bucket layout) into this histogram."""
+        if (other.lo, other.hi, other.buckets_per_decade) != (
+            self.lo, self.hi, self.buckets_per_decade
+        ):
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, n in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Histogram {self.name or '?'} count={self.count} "
+            f"mean={self.mean:.3f}>"
+        )
+
+
+class MetricsRegistry:
+    """All metrics of one measured run (the live registry)."""
+
+    enabled = True
+
+    def __init__(self, histogram_defaults: Optional[Dict[str, Any]] = None):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.samples: list = []          # appended by measure.sampler
+        self.spans = SpanLog()
+        self._histogram_defaults = dict(histogram_defaults or {})
+
+    # -- verbs ----------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str, **config: Any) -> Histogram:
+        """The named histogram, created on first use."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            settings = dict(self._histogram_defaults)
+            settings.update(config)
+            hist = Histogram(name, **settings)
+            self.histograms[name] = hist
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
+
+    # -- transaction span hooks ----------------------------------------
+    def tx_begin(self, key: str, t: float) -> None:
+        self.spans.begin_tx(key, t)
+
+    def tx_end(self, key: str, t: float, outcome: str = "committed") -> None:
+        finished = self.spans.end_tx(key, t, outcome)
+        if finished is not None:
+            self.observe("tx.latency_ms", finished.latency)
+            self.inc(f"tx.{outcome}")
+
+    # -- readout --------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot of every metric (deterministic)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].summary() for k in sorted(self.histograms)
+            },
+        }
+
+
+class NullRegistry:
+    """The no-op registry carried by unmeasured runs.
+
+    Every verb returns immediately; probe sites additionally guard with
+    ``if m.enabled:`` so argument construction is skipped too.
+    """
+
+    enabled = False
+    spans = NULL_SPANS
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.samples: list = []
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def histogram(self, name: str, **config: Any) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def tx_begin(self, key: str, t: float) -> None:
+        pass
+
+    def tx_end(self, key: str, t: float, outcome: str = "committed") -> None:
+        pass
+
+    def counter_value(self, name: str) -> float:
+        return 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: shared no-op registry for contexts with no cluster (bare Environments)
+NULL_REGISTRY = NullRegistry()

@@ -36,6 +36,11 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: metrics registry of the owning run (set by the cluster when
+        #: measurement is enabled; None means unmeasured — probe sites
+        #: throughout the stack guard on this).
+        self.metrics: Optional[Any] = None
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -81,6 +86,7 @@ class Environment:
         if not self._queue:
             raise EmptySchedule()
         self._now, _, _, event = heapq.heappop(self._queue)
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             return  # event was already processed (defensive)

@@ -58,6 +58,32 @@ class Tracer:
         """Invoke ``callback`` for every future record."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Stop invoking ``callback``.  Unknown callbacks are ignored.
+
+        Dropping the last subscriber matters on ``keep_records=False``
+        runs: while any subscriber is registered every emit must
+        materialize a :class:`TraceRecord`, so a stale subscriber
+        silently re-enables the record-allocation cost that
+        ``keep_records=False`` was meant to avoid.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def capture(self, kind: Optional[str] = None, **criteria: Any) -> "_Capture":
+        """Context manager collecting matching records while active::
+
+            with tracer.capture("takeover", node="alpha") as records:
+                ...  # run some simulation
+            assert len(records) == 1
+
+        The subscription is removed on exit, so captures are safe on
+        ``keep_records=False`` runs.
+        """
+        return _Capture(self, kind, criteria)
+
     def count(self, kind: str) -> int:
         return self.counters[kind]
 
@@ -75,3 +101,26 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self.counters.clear()
+
+
+class _Capture:
+    """Subscription-backed record collector (see :meth:`Tracer.capture`)."""
+
+    def __init__(self, tracer: Tracer, kind: Optional[str], criteria: Dict[str, Any]):
+        self.tracer = tracer
+        self.kind = kind
+        self.criteria = criteria
+        self.records: List[TraceRecord] = []
+
+    def _on_record(self, record: TraceRecord) -> None:
+        if self.kind is not None and record.kind != self.kind:
+            return
+        if all(record.fields.get(k) == v for k, v in self.criteria.items()):
+            self.records.append(record)
+
+    def __enter__(self) -> List[TraceRecord]:
+        self.tracer.subscribe(self._on_record)
+        return self.records
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.tracer.unsubscribe(self._on_record)

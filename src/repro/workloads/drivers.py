@@ -12,6 +12,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from ..measure.registry import Histogram
+
 __all__ = ["LoadResult", "TransactionMetrics", "run_closed_loop"]
 
 
@@ -56,17 +58,25 @@ class LoadResult:
     def restarts(self) -> int:
         return sum(m.attempts - 1 for m in self.metrics if m.ok)
 
+    def latency_histogram(self) -> Histogram:
+        """Committed-transaction latencies as an XRAY histogram.
+
+        The single percentile implementation of the repository lives in
+        :class:`repro.measure.registry.Histogram`; both the closed-loop
+        driver and the online metrics report through it.
+        """
+        histogram = Histogram(name="load.latency_ms")
+        for m in self.metrics:
+            if m.ok:
+                histogram.record(m.latency)
+        return histogram
+
     def latency_percentile(self, q: float) -> float:
-        latencies = sorted(m.latency for m in self.metrics if m.ok)
-        if not latencies:
-            return 0.0
-        index = min(len(latencies) - 1, int(q * len(latencies)))
-        return latencies[index]
+        return self.latency_histogram().percentile(q)
 
     @property
     def mean_latency(self) -> float:
-        latencies = [m.latency for m in self.metrics if m.ok]
-        return sum(latencies) / len(latencies) if latencies else 0.0
+        return self.latency_histogram().mean
 
 
 def run_closed_loop(
