@@ -36,15 +36,21 @@ def build_banking_system(
     front_end=False,
     cache_capacity=256,
     measure=None,
+    trace=None,
 ):
     """A standard banking node, optionally with a terminal front-end node.
 
     ``measure`` defaults to whether ``BENCH_XRAY`` is set, so an XRAY'd
-    harness run measures the same systems it reports on.
+    harness run measures the same systems it reports on; ``trace``
+    likewise defaults to ``BENCH_TRACE``, so a traced harness run can
+    export per-experiment timelines (see :func:`maybe_dump_report`).
     """
     if measure is None:
         measure = bool(os.environ.get("BENCH_XRAY"))
-    builder = SystemBuilder(seed=seed, keep_trace=keep_trace, measure=measure)
+    if trace is None:
+        trace = bench_trace_enabled()
+    builder = SystemBuilder(seed=seed, keep_trace=keep_trace, measure=measure,
+                            trace=trace)
     builder.add_node("alpha", cpus=cpus)
     if front_end:
         builder.add_node("term", cpus=2)
@@ -120,6 +126,18 @@ def settle(system, ms=3000.0, node="alpha"):
 BENCH_REPORT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_report.json")
 
 
+def bench_trace_enabled():
+    """Whether ``BENCH_TRACE`` asks for per-experiment timeline exports."""
+    return bool(os.environ.get("BENCH_TRACE"))
+
+
+def timeline_path(name):
+    """Where ``name``'s Chrome trace_event timeline lands (next to the
+    merged XRAY report)."""
+    return os.path.join(os.path.dirname(__file__),
+                        f"BENCH_{name}_timeline.json")
+
+
 def write_bench_report(system, name, extra=None, path=None):
     """Merge one experiment's XRAY report into ``BENCH_report.json``.
 
@@ -144,11 +162,16 @@ def write_bench_report(system, name, extra=None, path=None):
 
 
 def maybe_dump_report(system, name, extra=None):
-    """Dump the XRAY report when ``BENCH_XRAY`` is set in the environment.
+    """Dump measurement artifacts asked for via the environment.
 
-    Benchmarks stay report-free by default (the harness compares plain
-    counters); ``BENCH_XRAY=1 pytest benchmarks/...`` adds the artifact.
+    Benchmarks stay artifact-free by default (the harness compares plain
+    counters); ``BENCH_XRAY=1 pytest benchmarks/...`` adds the merged
+    XRAY report, and ``BENCH_TRACE=1`` writes each experiment's Chrome
+    ``trace_event`` timeline next to ``BENCH_report.json`` (load it in
+    chrome://tracing or Perfetto).
     """
+    if bench_trace_enabled() and getattr(system, "trace_collector", None):
+        system.write_timeline(timeline_path(name))
     if not os.environ.get("BENCH_XRAY"):
         return None
     return write_bench_report(system, name, extra=extra)

@@ -11,7 +11,7 @@ Reproduced: END-TRANSACTION latency and message counts for a transaction
 touching 1, 2 and 3 nodes of a 5-node network.
 """
 
-from _common import maybe_dump_report
+from _common import bench_trace_enabled, maybe_dump_report
 from repro.core import TransactionAborted
 from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
 from repro.encompass import SystemBuilder
@@ -21,7 +21,7 @@ NODES = ("n1", "n2", "n3", "n4", "n5")
 
 
 def build():
-    builder = SystemBuilder(seed=53)
+    builder = SystemBuilder(seed=53, trace=bench_trace_enabled())
     for name in NODES:
         builder.add_node(name, cpus=4)
         builder.add_volume(name, "$data", cpus=(0, 1))

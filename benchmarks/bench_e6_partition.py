@@ -12,7 +12,7 @@ Reproduced: the full episode as a table — locks before/during/after, and
 the manual-override variant that frees them without waiting for heal.
 """
 
-from _common import maybe_dump_report
+from _common import bench_trace_enabled, maybe_dump_report
 from repro.core import TmpForceDisposition, TransactionAborted
 from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
 from repro.encompass import SystemBuilder
@@ -20,7 +20,7 @@ from repro.workloads import format_table
 
 
 def build():
-    builder = SystemBuilder(seed=83)
+    builder = SystemBuilder(seed=83, trace=bench_trace_enabled())
     for name in ("home", "remote"):
         builder.add_node(name, cpus=4)
         builder.add_volume(name, "$data", cpus=(0, 1))

@@ -14,7 +14,7 @@ import os
 import random
 from collections import Counter
 
-from _common import maybe_dump_report, settle
+from _common import bench_trace_enabled, maybe_dump_report, settle
 from repro.apps.banking import check_consistency, install_banking, populate_banking
 from repro.encompass import SystemBuilder
 from repro.workloads import format_table, run_closed_loop
@@ -22,7 +22,8 @@ from repro.workloads import format_table, run_closed_loop
 
 def build_transfer_system(restart_limit, seed=97):
     builder = SystemBuilder(seed=seed, keep_trace=False,
-                            measure=bool(os.environ.get("BENCH_XRAY")))
+                            measure=bool(os.environ.get("BENCH_XRAY")),
+                            trace=bench_trace_enabled())
     builder.add_node("alpha", cpus=4)
     builder.add_volume("alpha", "$data", cpus=(0, 1))
     install_banking(builder, "alpha", "$data", server_instances=4)

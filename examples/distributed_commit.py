@@ -6,10 +6,16 @@ via a DISCPROCESS on node 3.  Each node only knows whom *it* transmitted
 the transid to; the commit wave follows the transmission tree.
 
 Also shows: unilateral abort under partition, stranded locks after a
-phase-1 ack, and the manual override.
+phase-1 ack, the manual override — and, with tracing on, the causal
+trace of one TCP-driven unit crossing all three nodes (TCP → server →
+DISCPROCESS → audit → TMP).
 
 Run:  python examples/distributed_commit.py
 """
+
+import json
+import os
+import tempfile
 
 from repro.core import TmpForceDisposition, TransactionAborted
 from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
@@ -17,7 +23,7 @@ from repro.encompass import SystemBuilder
 
 
 def build():
-    builder = SystemBuilder(seed=21)
+    builder = SystemBuilder(seed=21, trace=True)
     for name in ("node1", "node2", "node3"):
         builder.add_node(name, cpus=4)
         builder.add_volume(name, "$data", cpus=(0, 1))
@@ -45,6 +51,17 @@ def build():
         return {"ok": True}
 
     builder.add_server_class("node2", "$ledger", ledger_server, instances=1)
+
+    # A terminal front end on node1: the TCP brackets each screen in
+    # BEGIN/END-TRANSACTION, so a traced unit shows the full causal
+    # chain starting from the TCP's serve span.
+    def post_entry(ctx, data):
+        yield from ctx.send_ok("\\node2.$ledger-1", data)
+        return {"posted": data["entry"]}
+
+    builder.add_tcp("node1", "$tcp", cpus=(2, 3))
+    builder.add_program("node1", "$tcp", "post-entry", post_entry)
+    builder.add_terminal("node1", "$tcp", "T1", "post-entry")
     return builder.build()
 
 
@@ -99,6 +116,33 @@ def main():
 
     proc = system.spawn("node1", "$chk", check, cpu=0)
     print(f"  entry 2 after abort: {system.cluster.run(proc.sim_process)}")
+
+    print("== traced TCP unit: the transaction flight recorder ==")
+
+    def traced(proc):
+        reply = yield from system.terminal_request(
+            proc, "node1", "$tcp", "T1", {"entry": 3, "value": 55}
+        )
+        return reply
+
+    proc = system.spawn("node1", "$term", traced, cpu=2)
+    reply = system.cluster.run(proc.sim_process)
+    assert reply["ok"], reply
+    trace = system.trace_of(reply["transid"])
+    print("  " + trace.render().replace("\n", "\n  "))
+    assert len(trace.nodes) >= 2, trace.nodes
+    kinds = {span.kind for span in trace.spans}
+    assert {"serve", "rpc"} <= kinds, kinds
+    processes = {p.split(".")[-1].rstrip("0123456789-") for p in trace.processes}
+    assert {"$tcp", "$ledger", "$data", "$aud", "$TMP"} <= processes, processes
+
+    # The same trace as a Chrome trace_event timeline (chrome://tracing).
+    path = os.path.join(tempfile.mkdtemp(), "distributed_commit_trace.json")
+    system.write_timeline(path, [reply["transid"]])
+    with open(path) as handle:
+        events = json.load(handle)["traceEvents"]
+    assert events and all("ph" in event for event in events)
+    print(f"  timeline: {len(events)} trace_event records -> {path}")
     print("distributed commit example OK")
 
 

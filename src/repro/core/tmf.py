@@ -199,6 +199,11 @@ class TmfNode:
         """BEGIN-TRANSACTION: new transid, broadcast 'active' node-wide."""
         transid = self.generator.next(proc.cpu.number)
         self._new_record(transid, home=True, origin_cpu=proc.cpu.number)
+        hub = self.env.trace
+        if hub is not None:
+            # Root (or re-root, on restart) the caller's trace at this
+            # transid: a TCP unit's serve span becomes the trace's root.
+            hub.adopt(transid)
         metrics = self.env.metrics
         if metrics is not None and metrics.enabled:
             metrics.tx_begin(str(transid), self.env.now)

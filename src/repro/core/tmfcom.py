@@ -10,7 +10,7 @@ TMFCOM program:
 
 * ``STATUS TMF``        → :meth:`status`
 * ``STATUS TRANSACTIONS`` → :meth:`transactions`
-* ``INFO TRANSACTION``  → :meth:`disposition`
+* ``INFO TRANSACTION``  → :meth:`disposition` / :meth:`trace`
 * ``RESOLVE TRANSACTION`` (force) → :meth:`force_disposition`
 * ``DUMP FILES``        → :meth:`dump_volume`
 * ``RECOVER FILES``     → :meth:`recover_volume`
@@ -38,9 +38,13 @@ __all__ = ["Tmfcom"]
 class Tmfcom:
     """Operator commands over one node's TMF."""
 
-    def __init__(self, tmf: TmfNode):
+    def __init__(self, tmf: TmfNode, collector: Optional[Any] = None):
         self.tmf = tmf
         self.rollforward = Rollforward(tmf)
+        # The TRACE collector, when the run is traced: INFO TRANSACTION
+        # can then show the causal flight recording, not just the
+        # disposition.  Optional — TMFCOM predates tracing.
+        self.collector = collector
 
     # ------------------------------------------------------------------
     # Status
@@ -91,6 +95,19 @@ class Tmfcom:
     def disposition(self, transid: Transid) -> Dict[str, Any]:
         """INFO TRANSACTION on this node (step 1 of the manual override)."""
         return {"transid": str(transid), **self.tmf.disposition_of(transid)}
+
+    def trace(self, transid: Any) -> str:
+        """INFO TRANSACTION, TRACE: the transaction's flight recording.
+
+        Delegates to the run's trace collector; the screen is the
+        :meth:`repro.trace.TransactionTrace.render` tree of serve/rpc
+        spans with interleaved domain records.
+        """
+        if self.collector is None:
+            return f"TRANSACTION {transid} — tracing not enabled on this run"
+        if not self.collector.has_trace(transid):
+            return f"TRANSACTION {transid} — no trace recorded"
+        return self.collector.trace_of(transid).render()
 
     # ------------------------------------------------------------------
     # Resolution (generator helpers: run from an operator process)

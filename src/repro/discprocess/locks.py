@@ -40,12 +40,14 @@ class LockTimeout(Exception):
 
 
 class _Waiter:
-    __slots__ = ("event", "transid", "target")
+    __slots__ = ("event", "transid", "target", "since")
 
-    def __init__(self, event: Event, transid: Any, target: LockTarget):
+    def __init__(self, event: Event, transid: Any, target: LockTarget,
+                 since: float = 0.0):
         self.event = event
         self.transid = transid
         self.target = target
+        self.since = since  # enqueue time (the watchdog's wait horizon)
 
 
 class LockManager:
@@ -117,7 +119,7 @@ class LockManager:
             self.timeouts += 1
             raise LockTimeout(transid, target)
         self.waits += 1
-        waiter = _Waiter(Event(self.env), transid, target)
+        waiter = _Waiter(Event(self.env), transid, target, since=self.env.now)
         self._queues.setdefault(target, deque()).append(waiter)
         self._trace("lock_wait", transid=str(transid), target=target)
         wait_start = self.env.now
@@ -204,7 +206,8 @@ class LockManager:
             queue.popleft()
             self._grant(waiter.transid, waiter.target)
             waiter.event.succeed()
-            self._trace("lock_granted_after_wait", transid=str(waiter.transid))
+            self._trace("lock_granted_after_wait", transid=str(waiter.transid),
+                        target=waiter.target)
         if not queue:
             self._queues.pop(target, None)
 

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from ..core import AuditProcess, AuditTrail, TmfConfig, TmfNode
+from ..core import AuditProcess, AuditTrail, Tmfcom, TmfConfig, TmfNode
 from ..discprocess import DataDictionary, DiscProcess, FileClient, FileSchema
 from ..guardian import Cluster, NodeOs
 from ..hardware import Latencies
 from ..measure import NULL_REGISTRY, MetricsRegistry, Sampler
 from ..measure.report import build_report, render_report, to_json, write_report
+from ..trace import TraceCollector, Watchdog, WatchdogConfig
+from ..trace.export import timeline_json as _timeline_json
+from ..trace.export import write_timeline as _write_timeline
 from .server import PathwayMonitor, ServerClass, ServerHandler
 from .tcp import TerminalControlProcess, TerminalInput
 from .verbs import ScreenContext
@@ -51,6 +54,8 @@ class EncompassSystem:
         self.tcps: Dict[Tuple[str, str], TerminalControlProcess] = {}
         self.pathway_monitors: Dict[str, PathwayMonitor] = {}
         self.sampler: Optional[Sampler] = None
+        self.trace_collector: Optional[TraceCollector] = None
+        self.watchdog: Optional[Watchdog] = None
         self._driver_seq = 0
 
     # ------------------------------------------------------------------
@@ -155,6 +160,38 @@ class EncompassSystem:
         """Write the JSON run report to ``path``; returns the report."""
         return write_report(self, path)
 
+    # ------------------------------------------------------------------
+    # TRACE (causal tracing subsystem)
+    # ------------------------------------------------------------------
+    def _require_collector(self) -> TraceCollector:
+        if self.trace_collector is None:
+            raise RuntimeError(
+                "tracing is disabled; build with SystemBuilder(trace=True)"
+            )
+        return self.trace_collector
+
+    def trace_of(self, transid: Any):
+        """The assembled causal trace tree of one transaction."""
+        return self._require_collector().trace_of(transid)
+
+    def timeline_json(self, transids: Optional[List[Any]] = None) -> str:
+        """The Chrome ``trace_event`` timeline as canonical JSON."""
+        return _timeline_json(self._require_collector(), transids)
+
+    def write_timeline(self, path: Any,
+                       transids: Optional[List[Any]] = None) -> str:
+        """Write the Chrome ``trace_event`` timeline to ``path``."""
+        return _write_timeline(self._require_collector(), path, transids)
+
+    def trace_screen(self, transid: Any) -> str:
+        """The transaction flight-recorder screen (plain text)."""
+        return self.trace_of(transid).render()
+
+    def tmfcom(self, node: str) -> Tmfcom:
+        """A TMFCOM console over ``node``'s TMF, trace-aware when the
+        run is traced (``INFO TRANSACTION, TRACE``)."""
+        return Tmfcom(self.tmf[node], collector=self.trace_collector)
+
 
 class SystemBuilder:
     """Builds an :class:`EncompassSystem` step by declarative step."""
@@ -168,13 +205,30 @@ class SystemBuilder:
         auto_connect: bool = True,
         measure: bool = False,
         sample_interval: float = 100.0,
+        trace: bool = False,
+        watchdog: Any = None,
     ):
         metrics = MetricsRegistry() if measure else None
         self.cluster = Cluster(
-            seed=seed, latencies=latencies, keep_trace=keep_trace, metrics=metrics
+            seed=seed, latencies=latencies, keep_trace=keep_trace,
+            metrics=metrics, trace=trace,
         )
         self.dictionary = DataDictionary()
         self.system = EncompassSystem(self.cluster, self.dictionary)
+        if trace:
+            # Subscribe before any construction emits, so the collector
+            # sees the whole record stream from time zero.
+            self.system.trace_collector = TraceCollector(
+                self.cluster.tracer, self.cluster.trace_hub
+            )
+        # ``watchdog`` accepts True (default thresholds) or a
+        # :class:`WatchdogConfig`; installed in :meth:`build`.
+        self.watchdog_config: Optional[WatchdogConfig] = None
+        if watchdog:
+            self.watchdog_config = (
+                watchdog if isinstance(watchdog, WatchdogConfig)
+                else WatchdogConfig()
+            )
         self.tmf_config = tmf_config
         self.auto_connect = auto_connect
         self.sample_interval = sample_interval
@@ -375,4 +429,12 @@ class SystemBuilder:
                 self.system, interval=self.sample_interval
             )
             self.system.sampler.install()
+        if self.watchdog_config is not None:
+            # The watchdog is read-only like the sampler: installed only
+            # when asked for, it replays the same event outcomes while
+            # adding its own periodic check events.
+            self.system.watchdog = Watchdog(
+                self.system, self.watchdog_config
+            )
+            self.system.watchdog.install()
         return self.system

@@ -203,6 +203,16 @@ class ServerClass:
             message = yield from proc.receive()
             context = ServerContext(proc, self.client, message)
             handle_start = self.env.now
+            # Causal tracing: one serve span per request, on the server
+            # instance's own track (single-threaded, so the loop process
+            # holds at most one active context at a time).
+            hub = self.env.trace
+            trace_ctx = None
+            if hub is not None:
+                trace_ctx = hub.serve_begin(
+                    message, node=self.node_os.node.name,
+                    proc_name=proc.name, cpu=proc.cpu.number,
+                )
             try:
                 reply = yield from self.handler(context, message.payload)
             except LockTimeoutError:
@@ -216,6 +226,9 @@ class ServerClass:
                 proc.reply(message, {"ok": False, "error": "server_error",
                                      "detail": f"{type(exc).__name__}: {exc}"})
                 continue
+            finally:
+                if hub is not None:
+                    hub.serve_end(trace_ctx)
             self.requests_served += 1
             metrics = self.env.metrics
             if metrics is not None and metrics.enabled:

@@ -29,6 +29,7 @@ class Cluster:
         latencies: Optional[Latencies] = None,
         keep_trace: bool = True,
         metrics: Optional[Any] = None,
+        trace: bool = False,
     ):
         self.env = Environment()
         # The XRAY metrics registry rides on the environment so every
@@ -36,6 +37,14 @@ class Cluster:
         self.metrics = metrics
         self.env.metrics = metrics
         self.tracer = Tracer(keep_records=keep_trace)
+        # The causal-tracing hub rides on the environment the same way;
+        # None = untraced run.  (Lazy import: guardian must stay
+        # importable below repro.trace.)
+        self.trace_hub: Optional[Any] = None
+        if trace:
+            from ..trace.context import TraceHub
+            self.trace_hub = TraceHub(self.env, self.tracer)
+        self.env.trace = self.trace_hub
         self.streams = RandomStreams(seed)
         self.latencies = latencies or Latencies()
         self.network = Network(self.env, self.latencies, self.tracer)

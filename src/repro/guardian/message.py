@@ -92,6 +92,9 @@ class Message:
         self.replied = False
         self.source_cpu = 0
         self.dest_cpu = 0
+        #: trace context stamped by the TraceHub on traced runs (None on
+        #: untraced runs and on untraced background chatter).
+        self.trace_ctx: Optional[Any] = None
 
     def __repr__(self) -> str:
         return (
@@ -190,26 +193,37 @@ class MessageSystem:
             transid=transid,
             msg_id=msg_id,
         )
-        transit = self._transit_latency(
-            caller.node_name, caller.cpu.number, dest_node, self._dest_cpu(dest_node, dest_name)
-        )
-        self._count(caller.node_name, dest_node)
-        yield self.env.timeout(transit)
-        target = self._node_os[dest_node].lookup(dest_name)
-        if target is None or not target.alive:
-            raise ProcessUnavailable(f"{dest_node}.{dest_name}")
-        message.source_cpu = caller.cpu.number
-        message.dest_cpu = target.cpu.number
-        message.reply_event = Event(self.env)
-        target.accept(message)
-        if timeout is None:
-            reply = yield message.reply_event
-            return reply
-        deadline = self.env.timeout(timeout)
-        outcome = yield self.env.any_of([message.reply_event, deadline])
-        if message.reply_event in outcome:
-            return outcome[message.reply_event]
-        raise RequestTimeout(f"{message!r} after {timeout}ms")
+        # Causal tracing: allocate the request's span as a child of the
+        # sender's active context and stamp it onto the message, so the
+        # serving side (possibly on another node) can link up.
+        hub = self.env.trace
+        trace_ctx = hub.on_send(message, caller.cpu.number) if hub is not None else None
+        try:
+            transit = self._transit_latency(
+                caller.node_name, caller.cpu.number, dest_node, self._dest_cpu(dest_node, dest_name)
+            )
+            self._count(caller.node_name, dest_node)
+            yield self.env.timeout(transit)
+            target = self._node_os[dest_node].lookup(dest_name)
+            if target is None or not target.alive:
+                raise ProcessUnavailable(f"{dest_node}.{dest_name}")
+            message.source_cpu = caller.cpu.number
+            message.dest_cpu = target.cpu.number
+            message.reply_event = Event(self.env)
+            target.accept(message)
+            if timeout is None:
+                reply = yield message.reply_event
+                return reply
+            deadline = self.env.timeout(timeout)
+            outcome = yield self.env.any_of([message.reply_event, deadline])
+            if message.reply_event in outcome:
+                return outcome[message.reply_event]
+            raise RequestTimeout(f"{message!r} after {timeout}ms")
+        finally:
+            # The requester-observed end of the span: reply, error, or
+            # the caller's death (GeneratorExit runs this too).
+            if trace_ctx is not None:
+                hub.on_rpc_done(trace_ctx)
 
     def _dest_cpu(self, dest_node: str, dest_name: str) -> int:
         target = self._node_os[dest_node].lookup(dest_name)

@@ -322,7 +322,22 @@ class ConcurrentPair(ProcessPair):
         yield  # pragma: no cover - generator marker
 
     def _run_handler(self, proc: OsProcess, message: Message) -> Generator:
-        yield from self.serve_request(proc, message)
+        hub = self.env.trace
+        if hub is None:
+            yield from self.serve_request(proc, message)
+            return
+        # Causal tracing: the sub-handler is one serve span, child of
+        # the message's send span.  The span closes even when the
+        # handler is killed mid-request (takeover): GeneratorExit runs
+        # the finally, and serve_end only emits — it never yields.
+        ctx = hub.serve_begin(
+            message, node=self.node_name, proc_name=self.name,
+            cpu=proc.cpu.number,
+        )
+        try:
+            yield from self.serve_request(proc, message)
+        finally:
+            hub.serve_end(ctx)
 
     def serve_request(self, proc: OsProcess, message: Message) -> Generator:
         raise NotImplementedError

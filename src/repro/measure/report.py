@@ -70,6 +70,11 @@ def build_report(system: Any) -> Dict[str, Any]:
             for key, ap in sorted(system.audit_processes.items())
         },
     }
+    # Duck-typed: the TRACE watchdog (when installed) surfaces its alarm
+    # summary here — "XRAY aggregates, TRACE narrates".
+    watchdog = getattr(system, "watchdog", None)
+    if watchdog is not None:
+        report["watchdog"] = watchdog.summary()
     return report
 
 

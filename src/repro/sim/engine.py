@@ -40,6 +40,10 @@ class Environment:
         #: measurement is enabled; None means unmeasured — probe sites
         #: throughout the stack guard on this).
         self.metrics: Optional[Any] = None
+        #: trace hub of the owning run (set by the cluster when causal
+        #: tracing is enabled; None means untraced — same guard pattern
+        #: as ``metrics``).
+        self.trace: Optional[Any] = None
         self.events_processed = 0
 
     @property

@@ -24,8 +24,14 @@ class TraceRecord:
     fields: Dict[str, Any] = field(default_factory=dict)
 
     def __getattr__(self, name: str) -> Any:
+        # Dunder lookups (``__deepcopy__``, ``__getstate__``, ...) must
+        # fail fast: copy/pickle probe them on instances whose ``fields``
+        # attribute may not exist yet (e.g. mid-unpickle), and delegating
+        # would recurse through ``self.fields`` forever.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
         try:
-            return self.fields[name]
+            return self.__dict__["fields"][name]
         except KeyError:
             raise AttributeError(name) from None
 
@@ -42,6 +48,10 @@ class Tracer:
         self.records: List[TraceRecord] = []
         self.counters: Counter = Counter()
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        # Per-kind index over ``records``: experiment assertions select by
+        # kind over and over, and a linear scan of a long run's full
+        # record list per assertion is O(total records) each time.
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record an occurrence of ``kind`` at simulated ``time``."""
@@ -51,6 +61,7 @@ class Tracer:
         record = TraceRecord(time=time, kind=kind, fields=fields)
         if self.keep_records:
             self.records.append(record)
+            self._by_kind.setdefault(kind, []).append(record)
         for subscriber in self._subscribers:
             subscriber(record)
 
@@ -92,15 +103,15 @@ class Tracer:
         return list(self.iter(kind, **criteria))
 
     def iter(self, kind: Optional[str] = None, **criteria: Any) -> Iterator[TraceRecord]:
-        for record in self.records:
-            if kind is not None and record.kind != kind:
-                continue
+        pool = self.records if kind is None else self._by_kind.get(kind, [])
+        for record in pool:
             if all(record.fields.get(k) == v for k, v in criteria.items()):
                 yield record
 
     def clear(self) -> None:
         self.records.clear()
         self.counters.clear()
+        self._by_kind.clear()
 
 
 class _Capture:

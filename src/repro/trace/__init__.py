@@ -1,0 +1,40 @@
+"""TRACE — causal end-to-end transaction tracing over the simulated stack.
+
+Where the XRAY measurement subsystem (:mod:`repro.measure`) answers
+"where did the time go", TRACE answers "what happened to transaction T,
+in causal order, across processes and nodes": XRAY aggregates, TRACE
+narrates.
+
+* :mod:`repro.trace.context` — the per-run :class:`TraceHub` riding on
+  ``env.trace``, threading transid-rooted trace contexts through every
+  :class:`repro.guardian.message.Message` automatically;
+* :mod:`repro.trace.collect` — the :class:`TraceCollector` folding the
+  tracer's record stream into per-transaction span trees
+  (``system.trace_of(transid)``);
+* :mod:`repro.trace.export` — deterministic Chrome ``trace_event``
+  timelines (``system.write_timeline(path)``) and the plain-text
+  flight-recorder screen;
+* :mod:`repro.trace.watchdog` — online invariant detectors firing
+  structured ``watchdog.alarm`` records during the run.
+
+Build with ``SystemBuilder(trace=True)`` (and ``watchdog=True`` for the
+detectors); see the README's "Tracing a transaction" section.
+"""
+
+from .collect import Span, TraceCollector, TransactionTrace
+from .context import TraceContext, TraceHub
+from .export import timeline, timeline_json, write_timeline
+from .watchdog import Watchdog, WatchdogConfig
+
+__all__ = [
+    "Span",
+    "TraceCollector",
+    "TraceContext",
+    "TraceHub",
+    "TransactionTrace",
+    "Watchdog",
+    "WatchdogConfig",
+    "timeline",
+    "timeline_json",
+    "write_timeline",
+]

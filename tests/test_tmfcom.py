@@ -87,6 +87,68 @@ class TestStatus:
         assert holder["info"]["disposition"] == "committed"
 
 
+class TestScreens:
+    """The status()/transactions() screens, plus INFO TRANSACTION, TRACE."""
+
+    def test_transactions_unfiltered_lists_finished_units(self, rig):
+        tmfcom = Tmfcom(rig.tmf["alpha"])
+
+        def body(proc):
+            tmf = rig.tmf["alpha"]
+            client = rig.clients["alpha"]
+            yield from client.create_file(proc, rig.dictionary.schema("ops"))
+            committed = yield from tmf.begin(proc)
+            yield from client.insert(proc, "ops", {"k": 1}, transid=committed)
+            yield from tmf.end(proc, committed)
+            aborted = yield from tmf.begin(proc)
+            yield from client.insert(proc, "ops", {"k": 2}, transid=aborted)
+            yield from tmf.abort(proc, aborted)
+
+        rig.run("alpha", body)
+        rows = tmfcom.transactions()
+        assert len(rows) == 2
+        by_state = {row["state"] for row in rows}
+        assert by_state == {"ended", "aborted"} or by_state == {
+            "committed", "aborted"
+        }
+        for row in rows:
+            assert row["home"] is True      # this node began them
+            assert row["volumes"] == ["$data"]
+        # And the filtered view is consistent with the full listing.
+        assert tmfcom.transactions(state="active") == []
+
+    def test_status_reports_audit_backlog_fields(self, rig):
+        tmfcom = Tmfcom(rig.tmf["alpha"])
+        status = tmfcom.status()
+        assert status["node"] == "alpha"
+        assert status["active_transactions"] == 0
+        assert status["safe_delivery_backlog"] == 0
+        aud = status["audit_processes"]["$aud"]
+        assert set(aud) == {"available", "trail_files", "trail_records",
+                            "buffered"}
+        text = tmfcom.render_status()
+        assert "$aud: up" in text
+
+    def test_trace_screen_without_collector(self, rig):
+        tmfcom = Tmfcom(rig.tmf["alpha"])
+        assert "tracing not enabled" in tmfcom.trace("\\alpha.0.1")
+
+    def test_trace_screen_delegates_to_collector(self, rig):
+        class FakeCollector:
+            def has_trace(self, transid):
+                return str(transid) == "\\alpha.0.1"
+
+            def trace_of(self, transid):
+                class Trace:
+                    def render(self):
+                        return "TRANSACTION \\alpha.0.1 — 1 spans"
+                return Trace()
+
+        tmfcom = Tmfcom(rig.tmf["alpha"], collector=FakeCollector())
+        assert tmfcom.trace("\\alpha.0.1") == "TRANSACTION \\alpha.0.1 — 1 spans"
+        assert "no trace recorded" in tmfcom.trace("\\alpha.0.2")
+
+
 class TestResolution:
     def test_remote_query_and_force(self):
         """The full manual-override workflow through TMFCOM."""
