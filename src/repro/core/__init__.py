@@ -24,7 +24,13 @@ from .rollforward import (
     dump_volume,
     purge_audit_trails,
 )
-from .states import IllegalTransition, LEGAL_TRANSITIONS, StateBroadcaster, TxState
+from .states import (
+    IllegalTransition,
+    LEGAL_TRANSITIONS,
+    StateBroadcaster,
+    TxState,
+    legal_transitions_by_name,
+)
 from .tmf import TmfConfig, TmfNode, TransactionAborted, TransactionRecord
 from .tmfcom import Tmfcom
 from .tmp import (
@@ -74,5 +80,6 @@ __all__ = [
     "TxState",
     "VolumeArchive",
     "dump_volume",
+    "legal_transitions_by_name",
     "purge_audit_trails",
 ]

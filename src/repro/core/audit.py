@@ -24,6 +24,9 @@ from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
 from ..discprocess.blocks import VolumeBlockStore
 from ..discprocess.entryseq import EntrySequencedFile
+# The audit image carriers are defined at the layer that produces them
+# (the DISCPROCESS) and re-exported here for the consumers above.
+from ..discprocess.ops import AppendAudit, AuditRecord
 from ..guardian import ConcurrentPair, Message, NodeOs, OsProcess
 from ..hardware import MirroredVolume
 from .transid import Transid
@@ -40,21 +43,6 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class AuditRecord:
-    """One before/after image of a logical data base update."""
-
-    transid: Transid
-    volume: str
-    file: str
-    op: str                    # insert | update | delete | write_slot |
-                               # append_entry | backout
-    key: Any                   # primary key tuple / record number / esn
-    before: Any                # record image prior to the update (or None)
-    after: Any                 # record image after the update (or None)
-    seq: int                   # per-volume audit sequence number
-
-
-@dataclass(frozen=True)
 class CompletionRecord:
     """Monitor Audit Trail entry: a transaction's final disposition."""
 
@@ -63,14 +51,9 @@ class CompletionRecord:
 
 
 # ---------------------------------------------------------------------------
-# Request payloads understood by the AUDITPROCESS
+# Request payloads understood by the AUDITPROCESS (AppendAudit lives in
+# discprocess.ops with its producer; the TMF-side requests live here)
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class AppendAudit:
-    volume: str
-    records: Tuple[AuditRecord, ...]
-
-
 @dataclass(frozen=True)
 class ForceAudit:
     transid: Optional[Transid] = None

@@ -123,7 +123,10 @@ def compress_records(
 def _safe_eq(a: Any, b: Any) -> bool:
     try:
         return bool(a == b)
-    except Exception:  # noqa: BLE001 - exotic __eq__
+    except (TypeError, ValueError):
+        # An exotic __eq__ (or __bool__ on its result) that refuses the
+        # comparison: treat the values as unequal so the field stays in
+        # the delta and decompression reproduces it verbatim.
         return False
 
 

@@ -34,6 +34,8 @@ __all__ = [
     "ScanEntries",
     "ReleaseLocks",
     "BackoutOp",
+    "AuditRecord",
+    "AppendAudit",
     "VolumeStats",
     "FlushCache",
     "ERROR_CODES",
@@ -195,6 +197,36 @@ class BackoutOp:
     """Apply the inverse of one audit record (BACKOUTPROCESS only)."""
 
     audit_record: Any
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One before/after image of a logical data base update.
+
+    Produced by the DISCPROCESS ("Each DISCPROCESS ... automatically
+    provides 'before-images' and 'after-images' of data base updates"),
+    consumed by the AUDITPROCESS and ROLLFORWARD above it — which is why
+    the carrier lives here, at the layer that writes it.
+    """
+
+    transid: Any               # core.transid.Transid (typed Any: the
+                               # DISCPROCESS never inspects it)
+    volume: str
+    file: str
+    op: str                    # insert | update | delete | write_slot |
+                               # append_entry | backout
+    key: Any                   # primary key tuple / record number / esn
+    before: Any                # record image prior to the update (or None)
+    after: Any                 # record image after the update (or None)
+    seq: int                   # per-volume audit sequence number
+
+
+@dataclass(frozen=True)
+class AppendAudit:
+    """Ship a batch of audit images to an AUDITPROCESS."""
+
+    volume: str
+    records: Tuple[AuditRecord, ...]
 
 
 @dataclass(frozen=True)

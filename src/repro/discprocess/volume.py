@@ -42,8 +42,10 @@ from .index import StructuredFile
 from .keyseq import DuplicateKey, KeyNotFound
 from .locks import LockManager, LockTimeout
 from .ops import (
+    AppendAudit,
     AppendEntry,
     AppendSlot,
+    AuditRecord,
     BackoutOp,
     CreateFile,
     DeleteRecord,
@@ -630,8 +632,6 @@ class DiscProcess(ConcurrentPair):
         """Audit records for one logical update (audited files only)."""
         if not file.schema.audited or transid is None:
             return []
-        from ..core.audit import AuditRecord  # local import: layer boundary
-
         seq = self.state["audit_seq"]
         self.state["audit_seq"] = seq + 1
         return [
@@ -699,8 +699,6 @@ class DiscProcess(ConcurrentPair):
         if not pending:
             return
         batch = tuple(pending[seq] for seq in sorted(pending))
-        from ..core.audit import AppendAudit  # local import: layer boundary
-
         try:
             result = yield from self.filesystem.send(
                 proc,

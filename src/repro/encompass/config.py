@@ -24,7 +24,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from ..core import AuditProcess, AuditTrail, Tmfcom, TmfConfig, TmfNode
+from ..core import (
+    AuditProcess,
+    AuditTrail,
+    Tmfcom,
+    TmfConfig,
+    TmfNode,
+    legal_transitions_by_name,
+)
 from ..discprocess import DataDictionary, DiscProcess, FileClient, FileSchema
 from ..guardian import Cluster, NodeOs
 from ..hardware import Latencies
@@ -434,7 +441,8 @@ class SystemBuilder:
             # when asked for, it replays the same event outcomes while
             # adding its own periodic check events.
             self.system.watchdog = Watchdog(
-                self.system, self.watchdog_config
+                self.system, self.watchdog_config,
+                legal_transitions=legal_transitions_by_name(),
             )
             self.system.watchdog.install()
         return self.system

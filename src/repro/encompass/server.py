@@ -222,6 +222,10 @@ class ServerClass:
                 # should call RESTART-TRANSACTION."
                 proc.reply(message, {"ok": False, "error": "lock_timeout"})
                 continue
+            # Deliberately broad: the handler is user code (the Screen
+            # COBOL program's server half), and whatever it raises must
+            # become a server_error reply — the server class survives and
+            # the requester decides whether to restart the transaction.
             except Exception as exc:  # noqa: BLE001 - surfaced to requester
                 proc.reply(message, {"ok": False, "error": "server_error",
                                      "detail": f"{type(exc).__name__}: {exc}"})

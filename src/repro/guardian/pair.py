@@ -153,6 +153,9 @@ class ProcessPair:
                 )
                 yield self.env.timeout(self.node_os.node.latencies.checkpoint)
                 self.checkpoints_sent += 1
+                metrics = self.env.metrics
+                if metrics is not None and metrics.enabled:
+                    metrics.inc("pair.checkpoints")
                 self._trace("checkpoint", keys=sorted(entries))
             for key, value in entries.items():
                 self.backup_state[key] = copy.deepcopy(value)
@@ -185,6 +188,9 @@ class ProcessPair:
                 )
                 yield self.env.timeout(self.node_os.node.latencies.checkpoint)
                 self.checkpoints_sent += 1
+                metrics = self.env.metrics
+                if metrics is not None and metrics.enabled:
+                    metrics.inc("pair.checkpoints")
                 self._trace("checkpoint", table=table)
             backup_table = self.backup_state.setdefault(table, {})
             if updates:

@@ -1,0 +1,76 @@
+"""Baseline files: adopt GUARDRAIL on a codebase with known findings.
+
+A baseline records existing findings so CI fails only on *new* ones.
+Entries match on ``(rule, path, stripped source line)`` rather than line
+numbers, so edits elsewhere in a file do not churn the baseline; a
+count per entry tolerates duplicates of the same code line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .base import Finding
+
+__all__ = ["Baseline"]
+
+
+class Baseline:
+    """A multiset of known findings keyed by (rule, path, code)."""
+
+    VERSION = 1
+
+    def __init__(self, counts: Dict[Tuple[str, str, str], int] = None):
+        self.counts: Dict[Tuple[str, str, str], int] = dict(counts or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.code)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != cls.VERSION:
+            raise ValueError(f"unsupported baseline version in {path}")
+        baseline = cls()
+        for entry in data.get("entries", ()):
+            key = (entry["rule"], entry["path"], entry["code"])
+            baseline.counts[key] = baseline.counts.get(key, 0) + int(
+                entry.get("count", 1)
+            )
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": file, "code": code, "count": count}
+            for (rule, file, code), count in sorted(self.counts.items())
+        ]
+        payload = {"version": self.VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    def filter(self, findings: List[Finding]) -> List[Finding]:
+        """Findings not absorbed by the baseline (in stable order).
+
+        Each baseline entry absorbs up to ``count`` matching findings,
+        taken in (path, line) order so the result is deterministic.
+        """
+        budget = dict(self.counts)
+        fresh: List[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = (finding.rule, finding.path, finding.code)
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+            else:
+                fresh.append(finding)
+        return fresh

@@ -1,0 +1,5 @@
+"""GUARDRAIL rule modules.  Importing this package registers every rule."""
+
+from . import determinism, exceptions, figure3, layering, probes  # noqa: F401
+
+__all__ = ["determinism", "exceptions", "figure3", "layering", "probes"]

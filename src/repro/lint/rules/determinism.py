@@ -1,0 +1,160 @@
+"""Rule ``determinism``: ban ambient time, entropy, and id() ordering.
+
+The simulation is bit-deterministic: identical seeds must yield
+identical event schedules, reports, and timelines across processes and
+machines.  Three API families break that silently:
+
+* **wall clock** — ``time.time()``, ``datetime.now()`` and friends leak
+  host time into simulated state (the only clock is ``env.now``);
+* **ambient entropy** — module-level ``random.*`` calls, ``os.urandom``,
+  ``uuid.uuid4``, ``secrets.*`` and unseeded ``random.Random()`` draw
+  from interpreter- or OS-global state instead of the named, seeded
+  streams of :mod:`repro.sim.rng`;
+* **id() ordering** — sorting by ``id`` keys iteration to the
+  allocator, which varies run to run.
+
+Explicitly seeded ``random.Random(seed)`` instances stay legal: the
+seed pins the sequence.  ``sim/rng.py`` (the stream factory itself) is
+exempt from the id-ordering clause by charter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..base import Finding, ModuleInfo, Rule, register
+
+__all__ = ["DeterminismRule"]
+
+#: dotted call targets that read the host clock.
+WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: dotted call targets that draw ambient (OS / interpreter) entropy.
+ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+        "secrets.choice",
+        "random.SystemRandom",
+    }
+)
+
+#: callables whose ``key=`` argument orders data.
+_ORDERING_CALLS = frozenset({"sorted", "sort", "min", "max"})
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no wall-clock reads, ambient entropy, module-level random.* calls, "
+        "or id()-keyed ordering (seeded random.Random stays legal)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        id_exempt = module.display_path.endswith("sim/rng.py")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.resolve(node.func)
+            if target is not None:
+                finding = self._check_target(module, node, target)
+                if finding is not None:
+                    yield finding
+            if not id_exempt:
+                yield from self._check_id_ordering(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_target(
+        self, module: ModuleInfo, node: ast.Call, target: str
+    ) -> Optional[Finding]:
+        if target in WALL_CLOCK:
+            return self.finding(
+                module,
+                node,
+                f"wall-clock read {target}() — simulated time is env.now",
+            )
+        if target in ENTROPY:
+            return self.finding(
+                module,
+                node,
+                f"ambient entropy {target}() — draw from a named "
+                f"sim.rng stream instead",
+            )
+        if target == "random.Random":
+            if not node.args and not node.keywords:
+                return self.finding(
+                    module,
+                    node,
+                    "unseeded random.Random() seeds from the OS — pass an "
+                    "explicit seed or use a sim.rng stream",
+                )
+            return None
+        if target.startswith("random.") and target.count(".") == 1:
+            return self.finding(
+                module,
+                node,
+                f"module-level {target}() uses the interpreter-global "
+                f"generator — use a named sim.rng stream",
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_id_ordering(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name not in _ORDERING_CALLS:
+            return
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            if self._keys_by_id(keyword.value):
+                yield self.finding(
+                    module,
+                    node,
+                    "ordering keyed by id() follows allocator addresses, "
+                    "which vary run to run — key by a stable field",
+                )
+
+    @staticmethod
+    def _keys_by_id(value: ast.AST) -> bool:
+        if isinstance(value, ast.Name) and value.id == "id":
+            return True
+        if isinstance(value, ast.Lambda):
+            for sub in ast.walk(value.body):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                ):
+                    return True
+        return False

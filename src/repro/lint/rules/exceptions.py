@@ -1,0 +1,116 @@
+"""Rule ``exception-hygiene``: no bare excepts, justified broad catches.
+
+A swallowed exception in this codebase does not crash a request — it
+silently corrupts an experiment: a takeover that "worked" because the
+error vanished, an audit record that never failed.  Hence:
+
+* ``except:`` (bare) is always a finding — it even catches
+  ``GeneratorExit``, which the simulator uses to unwind killed
+  processes, so a bare except can hang a CPU failure;
+* ``except Exception`` / ``except BaseException`` requires a written
+  justification — a comment on the handler line, the line above, or the
+  first body line, with actual words beyond a bare ``noqa`` code;
+* in the pair-takeover / recovery modules (``guardian/pair.py``,
+  ``core/backout.py``, ``core/rollforward.py``, ``core/tmf.py``) a
+  broad handler whose body only ``pass``/``continue``s is flagged even
+  when commented: recovery code may degrade, never ignore.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from ..base import Finding, ModuleInfo, Rule, register
+
+__all__ = ["ExceptionHygieneRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: recovery-path modules audited hardest (path suffixes).
+_RECOVERY_SUFFIXES = (
+    "guardian/pair.py",
+    "core/backout.py",
+    "core/rollforward.py",
+    "core/tmf.py",
+)
+
+_COMMENT_RE = re.compile(r"#(.*)$")
+_NOQA_RE = re.compile(r"noqa(:\s*[A-Z]+[0-9]*(\s*,\s*[A-Z]+[0-9]*)*)?", re.IGNORECASE)
+
+
+def _justification(lines: List[str], candidates: List[int]) -> bool:
+    """True if any candidate line carries a comment with real words."""
+    for lineno in candidates:
+        if not (1 <= lineno <= len(lines)):
+            continue
+        match = _COMMENT_RE.search(lines[lineno - 1])
+        if not match:
+            continue
+        text = _NOQA_RE.sub("", match.group(1))
+        if re.search(r"[A-Za-z]{3}", text):
+            return True
+    return False
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    name = "exception-hygiene"
+    description = (
+        "no bare except; except Exception needs a justification comment "
+        "(and may not swallow silently in pair-takeover/recovery modules)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        recovery = module.display_path.endswith(_RECOVERY_SUFFIXES)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except catches everything including GeneratorExit "
+                    "— name the exception types",
+                )
+                continue
+            if not self._is_broad(node.type):
+                continue
+            justified = _justification(
+                module.lines,
+                [node.lineno, node.lineno - 1, node.body[0].lineno],
+            )
+            if not justified:
+                yield self.finding(
+                    module,
+                    node,
+                    "broad `except Exception` without a justification "
+                    "comment — narrow the types or say why breadth is "
+                    "deliberate",
+                )
+            elif recovery and self._swallows(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "recovery-path handler swallows a broad exception "
+                    "silently — record, retrace, or re-raise it",
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_broad(annotation: ast.AST) -> bool:
+        def broad_name(node: ast.AST) -> bool:
+            return isinstance(node, ast.Name) and node.id in _BROAD
+
+        if broad_name(annotation):
+            return True
+        if isinstance(annotation, ast.Tuple):
+            return any(broad_name(element) for element in annotation.elts)
+        return False
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        return all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in handler.body
+        )

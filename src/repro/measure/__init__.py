@@ -21,6 +21,7 @@ from .registry import Histogram, MetricsRegistry, NullRegistry, NULL_REGISTRY
 from .report import build_report, render_report, to_json, write_report
 from .sampler import Sampler
 from .spans import CATEGORIES, Span, SpanLog
+from .tables import format_table
 
 __all__ = [
     "Histogram",
@@ -32,6 +33,7 @@ __all__ = [
     "SpanLog",
     "CATEGORIES",
     "build_report",
+    "format_table",
     "render_report",
     "to_json",
     "write_report",

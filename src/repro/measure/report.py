@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
+from .tables import format_table
+
 __all__ = ["build_report", "to_json", "render_report", "write_report"]
 
 
@@ -133,8 +135,6 @@ def write_report(system: Any, path: str) -> str:
 # ---------------------------------------------------------------------------
 def render_report(report: Dict[str, Any]) -> str:
     """The human-readable tables an operator would watch."""
-    from ..workloads.sweep import format_table  # lazy: avoids import cycle
-
     sections: List[str] = []
     meta = report["meta"]
     sections.append(

@@ -29,8 +29,10 @@ it observes accumulators and queues but changes no simulated state, so
 a watched run replays the identical event history — and it is bounded
 (``max_checks``) so a run-to-exhaustion simulation still terminates.
 
-Imports from the rest of ``repro`` are lazy (the legal-transition
-table), keeping the module importable from any layer without cycles.
+The module imports nothing from the stack: the legal-transition table
+is *injected* by the system builder (``legal_transitions_by_name()``
+from :mod:`repro.core.states`), so the one Figure-3 table stays at its
+definition site and this module stays importable from any layer.
 """
 
 from __future__ import annotations
@@ -55,7 +57,19 @@ class WatchdogConfig:
 class Watchdog:
     """Subscribed + periodic invariant detectors over one system."""
 
-    def __init__(self, system: Any, config: Optional[WatchdogConfig] = None):
+    def __init__(
+        self,
+        system: Any,
+        config: Optional[WatchdogConfig] = None,
+        legal_transitions: Optional[Dict[Optional[str], Tuple[str, ...]]] = None,
+    ):
+        if legal_transitions is None:
+            # Refuse to run with the Figure-3 detector silently blind:
+            # the builder must inject core.states.legal_transitions_by_name().
+            raise ValueError(
+                "Watchdog requires the Figure-3 table — pass "
+                "legal_transitions=legal_transitions_by_name()"
+            )
         self.system = system
         self.env = system.env
         self.tracer = system.tracer
@@ -63,7 +77,7 @@ class Watchdog:
         self.alarms: List[Any] = []
         self.checks_run = 0
         self.process = None
-        self._legal: Optional[Dict[Optional[str], Tuple[str, ...]]] = None
+        self._legal: Dict[Optional[str], Tuple[str, ...]] = dict(legal_transitions)
         # (node, transid) -> (state, since) for non-terminal states.
         self._tx_state: Dict[Tuple[str, str], Tuple[str, float]] = {}
         # Dedup sets: each alarm fires once per offending condition.
@@ -110,13 +124,6 @@ class Watchdog:
     # Detector 1: Figure-3 edges (subscription — fires immediately)
     # ------------------------------------------------------------------
     def _legal_transitions(self) -> Dict[Optional[str], Tuple[str, ...]]:
-        if self._legal is None:
-            from ..core.states import LEGAL_TRANSITIONS  # lazy: no cycle
-            self._legal = {
-                str(current) if current is not None else None:
-                tuple(str(state) for state in targets)
-                for current, targets in LEGAL_TRANSITIONS.items()
-            }
         return self._legal
 
     def _on_record(self, record: Any) -> None:

@@ -95,7 +95,10 @@ def run_closed_loop(
     ``make_input(rng, terminal_id, iteration)`` builds each input
     screen.  Returns the aggregated :class:`LoadResult`.
     """
-    rng = rng or random.Random(0)
+    # The silent fallback derives from the cluster's named-stream factory
+    # rather than a private random.Random(0), so the driver's draws are
+    # tied to the run seed like every other stochastic element.
+    rng = rng or system.cluster.streams.stream("workload.drivers")
     result = LoadResult()
     env = system.env
     start_time = env.now

@@ -6,6 +6,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Generator, List, Optional, Sequence, Tuple
 
+from ..hardware import VolumeUnavailable
+
 __all__ = ["FailureEvent", "FailureSchedule", "random_failure_schedule"]
 
 
@@ -54,14 +56,16 @@ class FailureSchedule:
                 if drive in volume.drives:
                     try:
                         volume.revive()
-                    except Exception:  # noqa: BLE001 - mirror also down
+                    except VolumeUnavailable:
+                        # Mirror also down: leave the drive stale until a
+                        # later restore gives revive a source to copy from.
                         pass
                     return
 
 
 def random_failure_schedule(
     cluster: Any,
-    rng: random.Random,
+    rng: Optional[random.Random],
     duration: float,
     count: int,
     kinds: Sequence[str] = ("cpu", "bus", "controller", "drive", "line"),
@@ -73,7 +77,9 @@ def random_failure_schedule(
     Components are restored ``outage`` ms after failing, so the schedule
     exercises takeover *and* re-protection.  ``protect`` lists components
     that must not be chosen (e.g. to keep at least one mirror alive).
+    ``rng=None`` draws from the cluster's ``workload.failures`` stream.
     """
+    rng = rng or cluster.streams.stream("workload.failures")
     candidates = []
     for node_os in cluster.oses.values():
         for component in node_os.node.components():

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
-from ..sim import zipf_weights
+from ..sim import RandomStreams, zipf_weights
 
 __all__ = ["KeyChooser"]
 
@@ -14,12 +14,19 @@ class KeyChooser:
     """Draws keys 0..n-1 either uniformly or Zipf-skewed.
 
     ``skew=0`` is uniform; larger skews concentrate traffic on a few hot
-    keys (the contention knob of the locking experiments).
+    keys (the contention knob of the locking experiments).  Passing a
+    :class:`~repro.sim.rng.RandomStreams` derives the chooser's own
+    ``workload.keys`` stream, so key draws never perturb other
+    consumers of the run seed.
     """
 
-    def __init__(self, rng: random.Random, n: int, skew: float = 0.0):
+    def __init__(
+        self, rng: Union[random.Random, RandomStreams], n: int, skew: float = 0.0
+    ):
         if n <= 0:
             raise ValueError("n must be positive")
+        if isinstance(rng, RandomStreams):
+            rng = rng.stream("workload.keys")
         self.rng = rng
         self.n = n
         self.skew = skew
