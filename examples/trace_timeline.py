@@ -21,6 +21,7 @@ Run:  python examples/trace_timeline.py
 
 import json
 import random
+from pathlib import Path
 
 from repro.apps.banking import (
     debit_credit_program,
@@ -30,7 +31,10 @@ from repro.apps.banking import (
 from repro.encompass import SystemBuilder
 from repro.workloads import run_closed_loop
 
-TIMELINE_PATH = "trace_timeline.json"
+# Example output stays out of the working tree: out/ is gitignored.
+TIMELINE_PATH = (
+    Path(__file__).resolve().parent.parent / "out" / "trace_timeline.json"
+)
 
 
 def run_traced(seed=7):
@@ -85,7 +89,8 @@ def main():
     assert summary["alarms"] == 0, summary
 
     # Export the full run as a Chrome trace_event timeline.
-    system.write_timeline(TIMELINE_PATH)
+    TIMELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    system.write_timeline(str(TIMELINE_PATH))
     events = json.loads(blob)["traceEvents"]
     assert events and all("ph" in event for event in events)
     print(f"timeline with {len(events)} trace_event records written to "

@@ -14,6 +14,7 @@ Run:  python examples/xray_report.py
 """
 
 import random
+from pathlib import Path
 
 from repro.apps.banking import (
     check_consistency,
@@ -24,7 +25,8 @@ from repro.apps.banking import (
 from repro.encompass import SystemBuilder
 from repro.workloads import run_closed_loop
 
-REPORT_PATH = "xray_report.json"
+# Example output stays out of the working tree: out/ is gitignored.
+REPORT_PATH = Path(__file__).resolve().parent.parent / "out" / "xray_report.json"
 
 
 def run_measured(seed=7):
@@ -69,8 +71,8 @@ def main():
     print()
     print(system.xray_screen())
 
-    with open(REPORT_PATH, "w") as handle:
-        handle.write(blob)
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(blob)
     print(f"full JSON report written to {REPORT_PATH}")
 
     report = check_consistency(system, "alpha")

@@ -54,6 +54,11 @@ class BlockCache:
         #: optional XRAY registry; hit/miss counters land there too so a
         #: measured run can watch cache behaviour over time.
         self.metrics = metrics
+        # Whether a run is measured is fixed at construction (the cluster
+        # installs the registry before any DISCPROCESS exists), so the
+        # per-probe ``is not None and .enabled`` test collapses to one
+        # pre-bound bool on the lookup fast path.
+        self._measured = metrics is not None and metrics.enabled
         self._entries: "OrderedDict[BlockKey, Any]" = OrderedDict()
         self._dirty: set = set()
         self._pinned: set = set()
@@ -67,16 +72,17 @@ class BlockCache:
 
     def lookup(self, key: BlockKey) -> Tuple[bool, Any]:
         """Return (hit, block)."""
-        metrics = self.metrics
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        entries = self._entries
+        block = entries.get(key)
+        if block is not None or key in entries:
+            entries.move_to_end(key)
             self.stats.hits += 1
-            if metrics is not None and metrics.enabled:
-                metrics.inc("cache.hits")
-            return True, self._entries[key]
+            if self._measured:
+                self.metrics.inc("cache.hits")
+            return True, block
         self.stats.misses += 1
-        if metrics is not None and metrics.enabled:
-            metrics.inc("cache.misses")
+        if self._measured:
+            self.metrics.inc("cache.misses")
         return False, None
 
     def install(

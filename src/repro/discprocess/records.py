@@ -14,6 +14,7 @@ tuples of field values, which sort correctly for range operations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
@@ -72,8 +73,6 @@ class SecuritySpec:
     write: Tuple[str, ...] = ("*",)
 
     def allows(self, function: str, principal: str) -> bool:
-        from fnmatch import fnmatchcase
-
         patterns = self.read if function == "read" else self.write
         return any(fnmatchcase(principal, pattern) for pattern in patterns)
 

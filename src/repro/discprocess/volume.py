@@ -30,12 +30,11 @@ Fidelity notes:
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..guardian import ConcurrentPair, FileSystem, FileSystemError, Message, NodeOs, OsProcess
 from ..hardware import MirroredVolume, VolumeUnavailable
-from ..sim import Tracer
+from ..sim import Tracer, fast_deepcopy
 from .blocks import BlockKey
 from .cache import BlockCache, CachedVolumeStore
 from .index import StructuredFile
@@ -326,11 +325,11 @@ class DiscProcess(ConcurrentPair):
         elif isinstance(payload, ScanRecords):
             file = self._file(payload.file, KEY_SEQUENCED)
             rows = file.scan(payload.low, payload.high, payload.limit)
-            reply = {"ok": True, "rows": copy.deepcopy(rows)}
+            reply = {"ok": True, "rows": fast_deepcopy(rows)}
         elif isinstance(payload, ReadViaIndex):
             file = self._file(payload.file, KEY_SEQUENCED)
             records = file.read_via_index(payload.field, payload.value)
-            reply = {"ok": True, "records": copy.deepcopy(records)}
+            reply = {"ok": True, "records": fast_deepcopy(records)}
         elif isinstance(payload, (LockRecord, LockFile)):
             reply = yield from self._explicit_lock(proc, message, payload)
         elif isinstance(payload, ReadSlot):
@@ -343,12 +342,12 @@ class DiscProcess(ConcurrentPair):
             reply = yield from self._append_entry(proc, message, payload)
         elif isinstance(payload, ReadEntry):
             file = self._file(payload.file, ENTRY_SEQUENCED)
-            reply = {"ok": True, "record": copy.deepcopy(file.read_entry(payload.esn))}
+            reply = {"ok": True, "record": fast_deepcopy(file.read_entry(payload.esn))}
         elif isinstance(payload, ScanEntries):
             file = self._file(payload.file, ENTRY_SEQUENCED)
             reply = {
                 "ok": True,
-                "rows": copy.deepcopy(
+                "rows": fast_deepcopy(
                     file.scan_entries(payload.start_esn, payload.limit)
                 ),
             }
@@ -415,7 +414,7 @@ class DiscProcess(ConcurrentPair):
         record = file.read(payload.key)
         if lock_delta:
             yield from self.checkpoint_update("locks", updates=lock_delta)
-        return {"ok": True, "record": copy.deepcopy(record)}
+        return {"ok": True, "record": fast_deepcopy(record)}
 
     def _explicit_lock(self, proc: OsProcess, message: Message, payload: Any) -> Generator:
         if message.transid is None:
@@ -452,7 +451,7 @@ class DiscProcess(ConcurrentPair):
         record = file.read_slot(payload.record_number)
         if lock_delta:
             yield from self.checkpoint_update("locks", updates=lock_delta)
-        return {"ok": True, "record": copy.deepcopy(record)}
+        return {"ok": True, "record": fast_deepcopy(record)}
 
     # ------------------------------------------------------------------
     # Mutations (key-sequenced)
@@ -460,7 +459,7 @@ class DiscProcess(ConcurrentPair):
     def _insert(self, proc: OsProcess, message: Message, payload: InsertRecord) -> Generator:
         file = self._file(payload.file, KEY_SEQUENCED)
         transid = yield from self._mutation_preamble(file, message)
-        record = copy.deepcopy(payload.record)
+        record = fast_deepcopy(payload.record)
         file.schema.check_record(record)
         key = file.schema.key_of(record)
         lock_delta = {}
@@ -481,7 +480,7 @@ class DiscProcess(ConcurrentPair):
     def _update(self, proc: OsProcess, message: Message, payload: UpdateRecord) -> Generator:
         file = self._file(payload.file, KEY_SEQUENCED)
         transid = yield from self._mutation_preamble(file, message)
-        record = copy.deepcopy(payload.record)
+        record = fast_deepcopy(payload.record)
         file.schema.check_record(record)
         key = file.schema.key_of(record)
         if transid is not None and not self._holds_lock(transid, payload.file, key):
@@ -522,7 +521,7 @@ class DiscProcess(ConcurrentPair):
                 transid, payload.file, payload.record_number, payload.lock_timeout
             )
             lock_delta[target] = transid
-        record = copy.deepcopy(payload.record)
+        record = fast_deepcopy(payload.record)
         old = file.write_slot(payload.record_number, record)
         audit = self._make_audit(
             transid, file, "write_slot", payload.record_number, old, record
@@ -534,7 +533,7 @@ class DiscProcess(ConcurrentPair):
     def _append_slot(self, proc: OsProcess, message: Message, payload: AppendSlot) -> Generator:
         file = self._file(payload.file, RELATIVE)
         transid = yield from self._mutation_preamble(file, message)
-        record = copy.deepcopy(payload.record)
+        record = fast_deepcopy(payload.record)
         number = file.base.next_record_number
         lock_delta = {}
         if transid is not None:
@@ -552,7 +551,7 @@ class DiscProcess(ConcurrentPair):
     def _append_entry(self, proc: OsProcess, message: Message, payload: AppendEntry) -> Generator:
         file = self._file(payload.file, ENTRY_SEQUENCED)
         transid = yield from self._mutation_preamble(file, message)
-        record = copy.deepcopy(payload.record)
+        record = fast_deepcopy(payload.record)
         esn = file.append_entry(record)
         lock_delta = {}
         if transid is not None:
@@ -641,8 +640,8 @@ class DiscProcess(ConcurrentPair):
                 file=file.name,
                 op=op,
                 key=key,
-                before=copy.deepcopy(before),
-                after=copy.deepcopy(after),
+                before=fast_deepcopy(before),
+                after=fast_deepcopy(after),
                 seq=seq,
             )
         ]
@@ -748,16 +747,16 @@ class DiscProcess(ConcurrentPair):
                 undone = False  # already undone (retry after takeover)
         elif op == "update":
             try:
-                file.update(copy.deepcopy(record.before))
+                file.update(fast_deepcopy(record.before))
             except KeyNotFound:
                 undone = False
         elif op == "delete":
             try:
-                file.insert(copy.deepcopy(record.before))
+                file.insert(fast_deepcopy(record.before))
             except DuplicateKey:
                 undone = False
         elif op == "write_slot":
-            file.write_slot(record.key, copy.deepcopy(record.before))
+            file.write_slot(record.key, fast_deepcopy(record.before))
         elif op == "append_entry":
             file.base.void(record.key)
         else:
@@ -781,7 +780,7 @@ class DiscProcess(ConcurrentPair):
         """
         self.state = {}
         self._apply_state_defaults()
-        self.backup_state = copy.deepcopy(self.state)
+        self.backup_state = fast_deepcopy(self.state)
         self.crashed = True
         self.restart(primary_cpu, backup_cpu)
 
@@ -818,10 +817,10 @@ class DiscProcess(ConcurrentPair):
             if organization == KEY_SEQUENCED:
                 for key in sorted(rows):
                     if rows[key] is not None:
-                        structured.base.insert(key, copy.deepcopy(rows[key]))
+                        structured.base.insert(key, fast_deepcopy(rows[key]))
             elif organization == RELATIVE:
                 for number in sorted(rows):
-                    structured.base.write(number, copy.deepcopy(rows[number]))
+                    structured.base.write(number, fast_deepcopy(rows[number]))
                 if next_numbers.get(file_name, 0) > structured.base.next_record_number:
                     header = structured.base._header()
                     header[1] = next_numbers[file_name]
@@ -831,7 +830,7 @@ class DiscProcess(ConcurrentPair):
                 if rows:
                     top = max(top, max(rows) + 1)
                 for esn in range(top):
-                    structured.base.append(copy.deepcopy(rows.get(esn)))
+                    structured.base.append(fast_deepcopy(rows.get(esn)))
         # Rebuild alternate indices (reload used base.insert directly, so
         # index maintenance did not run).
         for file_name, structured in self.files.items():
@@ -843,7 +842,7 @@ class DiscProcess(ConcurrentPair):
         self.store.flush()
         self.store.journal.clear()
         self.cache.unpin(list(self.cache._entries))
-        self.backup_state = copy.deepcopy(self.state)
+        self.backup_state = fast_deepcopy(self.state)
         self.crashed = False
         self._trace("volume_recovered", files=sorted(schemas))
         return self.store.counters.writes - writes_before

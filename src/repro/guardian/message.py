@@ -199,12 +199,21 @@ class MessageSystem:
         hub = self.env.trace
         trace_ctx = hub.on_send(message, caller.cpu.number) if hub is not None else None
         try:
+            # One registry resolution up front for the transit accounting;
+            # the post-transit re-resolution below is semantic (the
+            # destination may die or take over while the request is in
+            # flight), so only the node_os dict access is hoisted.
+            dest_os = self._node_os[dest_node]
+            pre_target = dest_os.lookup(dest_name)
             transit = self._transit_latency(
-                caller.node_name, caller.cpu.number, dest_node, self._dest_cpu(dest_node, dest_name)
+                caller.node_name,
+                caller.cpu.number,
+                dest_node,
+                pre_target.cpu.number if pre_target is not None else 0,
             )
             self._count(caller.node_name, dest_node)
             yield self.env.timeout(transit)
-            target = self._node_os[dest_node].lookup(dest_name)
+            target = dest_os.lookup(dest_name)
             if target is None or not target.alive:
                 raise ProcessUnavailable(f"{dest_node}.{dest_name}")
             message.source_cpu = caller.cpu.number
@@ -224,10 +233,6 @@ class MessageSystem:
             # the caller's death (GeneratorExit runs this too).
             if trace_ctx is not None:
                 hub.on_rpc_done(trace_ctx)
-
-    def _dest_cpu(self, dest_node: str, dest_name: str) -> int:
-        target = self._node_os[dest_node].lookup(dest_name)
-        return target.cpu.number if target is not None else 0
 
     def reply(self, message: Message, payload: Any) -> None:
         """Deliver the reply to ``message``.  Callable from handlers.

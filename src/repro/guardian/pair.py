@@ -25,10 +25,9 @@ whatever state the backup would need.  The pair:
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Generator, Optional
 
-from ..sim import Tracer
+from ..sim import ATOMIC_TYPES, Tracer, fast_deepcopy
 from .message import Message
 from .process import NodeOs, OsProcess
 
@@ -148,17 +147,19 @@ class ProcessPair:
             if _charge:
                 # A checkpoint is an interprocessor message: it occupies
                 # a bus for its duration.
-                self.node_os.node.buses.record_transfer(
-                    self.node_os.node.latencies.checkpoint
-                )
-                yield self.env.timeout(self.node_os.node.latencies.checkpoint)
+                node = self.node_os.node
+                latency = node.latencies.checkpoint
+                node.buses.record_transfer(latency)
+                yield self.env.timeout(latency)
                 self.checkpoints_sent += 1
                 metrics = self.env.metrics
                 if metrics is not None and metrics.enabled:
                     metrics.inc("pair.checkpoints")
-                self._trace("checkpoint", keys=sorted(entries))
+                if self.tracer is not None:
+                    self._trace("checkpoint", keys=sorted(entries))
+            backup_state = self.backup_state
             for key, value in entries.items():
-                self.backup_state[key] = copy.deepcopy(value)
+                backup_state[key] = fast_deepcopy(value)
 
     def checkpoint_update(
         self,
@@ -183,19 +184,24 @@ class ProcessPair:
             table_state.pop(key, None)
         if self.backup_cpu is not None:
             if _charge:
-                self.node_os.node.buses.record_transfer(
-                    self.node_os.node.latencies.checkpoint
-                )
-                yield self.env.timeout(self.node_os.node.latencies.checkpoint)
+                node = self.node_os.node
+                latency = node.latencies.checkpoint
+                node.buses.record_transfer(latency)
+                yield self.env.timeout(latency)
                 self.checkpoints_sent += 1
                 metrics = self.env.metrics
                 if metrics is not None and metrics.enabled:
                     metrics.inc("pair.checkpoints")
-                self._trace("checkpoint", table=table)
+                if self.tracer is not None:
+                    self._trace("checkpoint", table=table)
             backup_table = self.backup_state.setdefault(table, {})
             if updates:
+                atomic = ATOMIC_TYPES
                 for key, value in updates.items():
-                    backup_table[key] = copy.deepcopy(value)
+                    backup_table[key] = (
+                        value if value.__class__ in atomic
+                        else fast_deepcopy(value)
+                    )
             for key in removals:
                 backup_table.pop(key, None)
 
@@ -227,7 +233,7 @@ class ProcessPair:
         # Promote: the backup's knowledge is exactly the checkpointed image.
         self.takeovers += 1
         self.primary_cpu, self.backup_cpu = self.backup_cpu, None
-        self.state = copy.deepcopy(self.backup_state)
+        self.state = fast_deepcopy(self.backup_state)
         self._apply_state_defaults()
         self.on_takeover()
         self.primary_process = self.node_os.spawn(
@@ -261,7 +267,7 @@ class ProcessPair:
 
     def _adopt_backup(self, cpu_number: int) -> None:
         self.backup_cpu = cpu_number
-        self.backup_state = copy.deepcopy(self.state)
+        self.backup_state = fast_deepcopy(self.state)
         self._trace("backup_adopted", cpu=cpu_number)
 
     def restart(self, primary_cpu: int, backup_cpu: Optional[int] = None) -> None:
@@ -274,7 +280,7 @@ class ProcessPair:
         if self.available:
             raise RuntimeError(f"pair {self.name} is still available")
         self.primary_cpu = primary_cpu
-        self.state = copy.deepcopy(self.backup_state)
+        self.state = fast_deepcopy(self.backup_state)
         self._apply_state_defaults()
         self.on_takeover()
         self.primary_process = self.node_os.spawn(

@@ -15,7 +15,10 @@ machines.  Three API families break that silently:
 
 Explicitly seeded ``random.Random(seed)`` instances stay legal: the
 seed pins the sequence.  ``sim/rng.py`` (the stream factory itself) is
-exempt from the id-ordering clause by charter.
+exempt from the id-ordering clause by charter.  Tooling packages
+(``lint``, ``bench``) are exempt from the wall-clock clause only: the
+bench harness reads the host clock on purpose — to report advisory
+wall-clock medians — and never feeds it into simulated state.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import ast
 from typing import Iterator, Optional
 
 from ..base import Finding, ModuleInfo, Rule, register
+from .layering import TOOLING_PACKAGES
 
 __all__ = ["DeterminismRule"]
 
@@ -76,12 +80,13 @@ class DeterminismRule(Rule):
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         id_exempt = module.display_path.endswith("sim/rng.py")
+        wall_exempt = module.repro_package in TOOLING_PACKAGES
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
             target = module.resolve(node.func)
             if target is not None:
-                finding = self._check_target(module, node, target)
+                finding = self._check_target(module, node, target, wall_exempt)
                 if finding is not None:
                     yield finding
             if not id_exempt:
@@ -89,9 +94,11 @@ class DeterminismRule(Rule):
 
     # ------------------------------------------------------------------
     def _check_target(
-        self, module: ModuleInfo, node: ast.Call, target: str
+        self, module: ModuleInfo, node: ast.Call, target: str, wall_exempt: bool
     ) -> Optional[Finding]:
         if target in WALL_CLOCK:
+            if wall_exempt:
+                return None
             return self.finding(
                 module,
                 node,

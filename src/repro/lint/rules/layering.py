@@ -10,8 +10,9 @@ above.  The measurement subsystems (``measure``, ``trace``) sit outside
 the stack: runtime code reaches them only through the null-object
 probes ``env.metrics`` / ``env.trace`` — a direct import is legal only
 in the composition roots that *install* those probes (and the one
-Histogram convergence point from PR 1).  ``repro.lint`` itself is
-tooling: nothing imports it, and it imports the stack freely.
+Histogram convergence point from PR 1).  ``repro.lint`` and
+``repro.bench`` are tooling: nothing imports them, and they import the
+stack freely.
 """
 
 from __future__ import annotations
@@ -40,6 +41,9 @@ RANKS = {
 #: packages reachable only via the env.metrics / env.trace probes.
 PROBE_PACKAGES = frozenset({"measure", "trace"})
 
+#: tool packages: they import the stack freely, nothing imports them.
+TOOLING_PACKAGES = frozenset({"lint", "bench"})
+
 #: modules allowed to import measure/trace directly: the two
 #: composition roots that install the probes onto the environment
 #: (cluster, config), plus the documented convergence points — the
@@ -65,7 +69,7 @@ class LayeringRule(Rule):
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         own = module.repro_package
-        if own is None or own == "lint":
+        if own is None or own in TOOLING_PACKAGES:
             return
         module_id = self._module_id(module)
         for node in ast.walk(module.tree):
@@ -103,9 +107,11 @@ class LayeringRule(Rule):
         target = parts[1]
         if target == own:
             return None
-        if target == "lint":
+        if target in TOOLING_PACKAGES:
             return self.finding(
-                module, node, "repro.lint is tooling — runtime code must not import it"
+                module,
+                node,
+                f"repro.{target} is tooling — runtime code must not import it",
             )
         if target in PROBE_PACKAGES:
             if own in PROBE_PACKAGES or module_id in PROBE_IMPORT_ALLOWLIST:

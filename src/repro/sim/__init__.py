@@ -8,6 +8,12 @@ structured tracing.
 
 from .channel import Channel, ChannelClosed
 from .engine import EmptySchedule, Environment
+from .fastcopy import (
+    ATOMIC_TYPES,
+    fast_deepcopy,
+    register_fastcopy,
+    register_immutable,
+)
 from .events import (
     AllOf,
     AnyOf,
@@ -37,5 +43,9 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "ATOMIC_TYPES",
+    "fast_deepcopy",
+    "register_fastcopy",
+    "register_immutable",
     "zipf_weights",
 ]

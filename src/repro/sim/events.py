@@ -11,6 +11,7 @@ plain events, timeouts, processes, and ``AnyOf``/``AllOf`` composition.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 __all__ = [
@@ -67,7 +68,12 @@ class Event:
     An event starts *pending*; it may later *succeed* with a value or
     *fail* with an exception.  Callbacks registered on the event run when
     the environment processes it.
+
+    Events are the unit allocation of the hot loop — tens of thousands
+    per simulated second — so the whole hierarchy is ``__slots__``-only.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
         self.env = env
@@ -128,14 +134,22 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Flattened Event.__init__ + env.schedule: a timeout is born
+        # triggered, and this constructor runs tens of thousands of
+        # times per simulated second.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self.defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, 0, env._eid, self))
 
 
 class Process(Event):
@@ -144,6 +158,8 @@ class Process(Event):
     The process is itself an event that triggers when the generator
     returns (success, with the return value) or raises (failure).
     """
+
+    __slots__ = ("name", "_generator", "_target", "_kill_pending")
 
     def __init__(self, env: "Environment", generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -278,6 +294,8 @@ class Process(Event):
 class Condition(Event):
     """Base for events composed of other events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events: List[Event] = list(events)
@@ -320,6 +338,8 @@ class AnyOf(Condition):
     fails if the first triggering event failed.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if not event._ok:
             event.defused = True
@@ -341,6 +361,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Triggers when every constituent event has; fails on first failure."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if not event._ok:

@@ -1,0 +1,182 @@
+"""The FASTPATH bench harness: runner, report schema, and comparator.
+
+The harness's job is to make the regression gate trustworthy: the
+runner must produce deterministic counters, the report must round-trip
+through JSON unchanged (it is diffed against a checked-in baseline),
+and the comparator must land on exactly one of its three verdicts —
+clean, counter-drift, wall-clock-soft-fail — for the right reasons.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    CLEAN,
+    COUNTER_DRIFT,
+    EXPERIMENTS,
+    SCHEMA,
+    WALL_CLOCK_SOFT_FAIL,
+    compare_reports,
+    run_experiment,
+    run_suite,
+)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def test_registry_covers_the_paper_suite():
+    names = set(EXPERIMENTS)
+    assert {f"e{i}" for i in range(1, 11)} == {n.split("_")[0] for n in names
+                                              if n.startswith("e")}
+    assert {f"f{i}" for i in range(1, 5)} == {n.split("_")[0] for n in names
+                                             if n.startswith("f")}
+
+
+def test_smoke_run_one_experiment_shape():
+    section = run_experiment("e10_process_pairs", scale="smoke", repeats=2)
+    counters = section["counters"]
+    assert counters and all(isinstance(v, int) for v in counters.values()), (
+        "deterministic counters must be ints (exact-compared)"
+    )
+    assert counters["takeovers"] == 1, "the mid-run CPU failure forces takeover"
+    assert counters["checkpoints"] > 0
+    assert section["wall_ms"]["repeats"] == 2
+    assert section["wall_ms"]["median"] >= 0.0
+
+
+def test_repeats_with_diverging_counters_raise(monkeypatch):
+    from repro.bench import experiments as exp
+
+    calls = iter([{"counters": {"x": 1}, "info": {}},
+                  {"counters": {"x": 2}, "info": {}}])
+    monkeypatch.setitem(exp.EXPERIMENTS, "e7_storage", lambda scale: next(calls))
+    with pytest.raises(AssertionError, match="differ between repeats"):
+        run_experiment("e7_storage", scale="smoke", repeats=2)
+
+
+def test_run_suite_subset_and_schema(tmp_path):
+    report = run_suite(scale="smoke", only=["e7_storage", "f1_hardware_paths"])
+    assert report["schema"] == SCHEMA
+    assert report["mode"] == "smoke"
+    assert set(report["experiments"]) == {"e7_storage", "f1_hardware_paths"}
+    # The report is diffed as JSON: it must round-trip unchanged.
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+    assert json.loads(path.read_text()) == report
+
+
+def test_run_suite_rejects_unknown_names():
+    with pytest.raises(KeyError, match="e99"):
+        run_suite(scale="smoke", only=["e99_nonsense"])
+
+
+# ----------------------------------------------------------------------
+# Comparator: the three verdicts
+# ----------------------------------------------------------------------
+def _report(wall=100.0, **counters):
+    counters = counters or {"events": 1000, "commits": 10}
+    return {
+        "schema": SCHEMA,
+        "mode": "smoke",
+        "experiments": {
+            "e_example": {
+                "counters": dict(counters),
+                "info": {},
+                "wall_ms": {"median": wall, "repeats": 1},
+            }
+        },
+    }
+
+
+def test_verdict_clean():
+    baseline = _report()
+    comparison = compare_reports(baseline, copy.deepcopy(baseline))
+    assert comparison.verdict == CLEAN
+    assert comparison.ok
+    assert not comparison.errors and not comparison.warnings
+
+
+def test_verdict_counter_drift_is_hard():
+    baseline = _report()
+    current = _report()
+    current["experiments"]["e_example"]["counters"]["commits"] = 11
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_DRIFT
+    assert not comparison.ok
+    assert any("baseline 10 != run 11" in e for e in comparison.errors)
+
+
+def test_verdict_wall_clock_soft_fail():
+    baseline = _report(wall=100.0)
+    current = _report(wall=150.0)  # +50% > the 40% threshold
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == WALL_CLOCK_SOFT_FAIL
+    assert comparison.ok, "wall-clock regressions must not fail the gate"
+    assert comparison.warnings and not comparison.errors
+
+
+def test_wall_clock_within_threshold_is_clean():
+    comparison = compare_reports(_report(wall=100.0), _report(wall=135.0))
+    assert comparison.verdict == CLEAN
+
+
+def test_tiny_experiments_skip_wall_comparison():
+    # Sub-50ms medians are interpreter noise; a 3x "regression" there
+    # must not warn.
+    comparison = compare_reports(_report(wall=5.0), _report(wall=15.0))
+    assert comparison.verdict == CLEAN
+
+
+def test_counter_drift_beats_soft_fail():
+    baseline = _report(wall=100.0)
+    current = _report(wall=200.0)
+    current["experiments"]["e_example"]["counters"]["events"] = 999
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_DRIFT
+    assert comparison.warnings, "the wall regression is still reported"
+
+
+def test_missing_and_extra_experiments_are_drift():
+    baseline = _report()
+    current = copy.deepcopy(baseline)
+    current["experiments"]["e_new"] = current["experiments"].pop("e_example")
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_DRIFT
+    assert any("missing from run" in e for e in comparison.errors)
+    assert any("not in baseline" in e for e in comparison.errors)
+
+
+def test_mode_mismatch_is_drift():
+    baseline = _report()
+    current = copy.deepcopy(baseline)
+    current["mode"] = "full"
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_DRIFT
+
+
+# ----------------------------------------------------------------------
+# The committed baseline matches a fresh run (the actual CI gate).
+# ----------------------------------------------------------------------
+def test_committed_baseline_matches_fresh_run(repo_root):
+    baseline_path = repo_root / "benchmarks" / "BENCH_baseline.json"
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["schema"] == SCHEMA
+    # One representative experiment end to end (the full suite runs in
+    # the bench-smoke CI job; here we keep the tier-1 suite fast).
+    name = "e10_process_pairs"
+    fresh = run_experiment(name, scale="smoke")
+    assert fresh["counters"] == baseline["experiments"][name]["counters"], (
+        "simulated history drifted from the committed baseline — if the "
+        "change is intentional, re-record with "
+        "`python -m repro.bench --smoke --update-baseline`"
+    )
+
+
+@pytest.fixture
+def repo_root():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parent.parent
