@@ -15,8 +15,11 @@ Each experiment contributes two kinds of numbers:
   failure**: surfaced (and annotated in CI) but not fatal, because CI
   runners are noisy.
 
-The comparator (:mod:`repro.bench.compare`) produces one of three
-verdicts per run: ``clean``, ``counter-drift``, ``wall-clock-soft-fail``.
+The comparator (:mod:`repro.bench.compare`) produces one of four
+verdicts per run: ``clean``, ``counter-drift``, ``counter-improvement``
+(cost counters dropped and nothing else drifted — still gates, but is
+reported as an optimization rather than unexplained drift), and
+``wall-clock-soft-fail``.
 
 Like :mod:`repro.lint`, this package is *tooling*: it imports the stack
 freely and nothing in the stack may import it.
@@ -25,6 +28,7 @@ freely and nothing in the stack may import it.
 from .compare import (
     CLEAN,
     COUNTER_DRIFT,
+    COUNTER_IMPROVEMENT,
     SCHEMA,
     WALL_CLOCK_SOFT_FAIL,
     Comparison,
@@ -40,6 +44,7 @@ from .experiments import (
 __all__ = [
     "CLEAN",
     "COUNTER_DRIFT",
+    "COUNTER_IMPROVEMENT",
     "Comparison",
     "EXPERIMENTS",
     "SCHEMA",

@@ -19,7 +19,7 @@ import json
 import sys
 from pathlib import Path
 
-from .compare import COUNTER_DRIFT, compare_reports
+from .compare import COUNTER_DRIFT, COUNTER_IMPROVEMENT, compare_reports
 from .experiments import EXPERIMENTS, determinism_digests, run_suite
 
 
@@ -113,11 +113,22 @@ def main(argv=None) -> int:
     comparison = compare_reports(baseline, report, threshold=args.threshold)
     for warning in comparison.warnings:
         print(f"::warning::repro.bench {warning}")
+    for improvement in comparison.improvements:
+        # Improvements are not drift: call them out as such.
+        print(f"::notice::repro.bench improved {improvement}")
     if comparison.verdict == COUNTER_DRIFT:
         print("repro.bench: COUNTER DRIFT — simulated history changed:",
               file=sys.stderr)
         for error in comparison.errors:
             print(f"  {error}", file=sys.stderr)
+        return 1
+    if comparison.verdict == COUNTER_IMPROVEMENT:
+        print("repro.bench: COUNTER IMPROVEMENT — cost counters dropped; "
+              "re-record the baseline to accept "
+              "(python -m repro.bench --smoke --update-baseline):",
+              file=sys.stderr)
+        for improvement in comparison.improvements:
+            print(f"  {improvement}", file=sys.stderr)
         return 1
     print(f"repro.bench: verdict {comparison.verdict}")
     return 0

@@ -12,6 +12,16 @@ against the checked-in baseline with two very different standards:
   only as a soft failure (``wall-clock-soft-fail``) that annotates the
   run without breaking it.
 
+One refinement to the counter rule: a handful of counters are *costs*
+(message round-trips, audit forces, checkpoint sends — see
+``_COST_COUNTERS``/``_COST_PREFIXES``).  When such a counter **drops**
+and nothing else drifts, the verdict is ``counter-improvement`` instead
+of ``counter-drift``: the gate still fails (the baseline no longer
+describes reality and must be re-recorded), but the report says plainly
+that the history got *cheaper*, not merely *different* — exactly what a
+batching change like BOXCAR produces.  Any non-cost mismatch, or a cost
+counter going up, is ordinary drift.
+
 Comparison only makes sense between like runs: a baseline recorded in
 ``smoke`` mode is not compared against a ``full`` run (mode mismatch is
 reported as counter drift, since the counters cannot agree).
@@ -25,6 +35,7 @@ from typing import Any, Dict, List
 __all__ = [
     "CLEAN",
     "COUNTER_DRIFT",
+    "COUNTER_IMPROVEMENT",
     "Comparison",
     "SCHEMA",
     "WALL_CLOCK_SOFT_FAIL",
@@ -36,7 +47,28 @@ SCHEMA = "repro.bench/1"
 
 CLEAN = "clean"
 COUNTER_DRIFT = "counter-drift"
+COUNTER_IMPROVEMENT = "counter-improvement"
 WALL_CLOCK_SOFT_FAIL = "wall-clock-soft-fail"
+
+#: counters that measure *cost* — lower is strictly better.  A decrease
+#: here (with no other drift) is an improvement, not ordinary drift.
+_COST_COUNTERS = frozenset({
+    "events",
+    "msg_local",
+    "msg_network",
+    "audit_forces",
+    "checkpoints",
+    "block_reads",
+    "block_writes",
+    "lock_waits",
+    "lock_timeouts",
+    "restarts",
+})
+_COST_PREFIXES = ("audit_batches_", "net_msgs_")
+
+
+def _is_cost_counter(key: str) -> bool:
+    return key in _COST_COUNTERS or key.startswith(_COST_PREFIXES)
 
 
 @dataclass
@@ -49,10 +81,16 @@ class Comparison:
     errors: List[str] = field(default_factory=list)
     #: soft problems — wall-clock regressions beyond the threshold.
     warnings: List[str] = field(default_factory=list)
+    #: cost counters that *dropped* — reported apart from drift so an
+    #: intentional optimization reads as such.  Still gates the run:
+    #: the baseline must be re-recorded.
+    improvements: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.verdict != COUNTER_DRIFT
+        # Both counter verdicts gate: the baseline no longer matches
+        # reality.  Improvement just tells the operator *why*.
+        return self.verdict not in (COUNTER_DRIFT, COUNTER_IMPROVEMENT)
 
 
 def compare_reports(
@@ -67,6 +105,7 @@ def compare_reports(
     """
     errors: List[str] = []
     warnings: List[str] = []
+    improvements: List[str] = []
 
     if baseline.get("schema") != current.get("schema"):
         errors.append(
@@ -90,12 +129,17 @@ def compare_reports(
             if base is None:
                 errors.append(f"{name}: not in baseline (re-record it)")
                 continue
-            _compare_counters(name, base["counters"], section["counters"], errors)
+            _compare_counters(name, base["counters"], section["counters"],
+                              errors, improvements)
             _compare_wall(name, base.get("wall_ms"), section.get("wall_ms"),
                           threshold, warnings)
 
     if errors:
-        return Comparison(COUNTER_DRIFT, errors=errors, warnings=warnings)
+        return Comparison(COUNTER_DRIFT, errors=errors, warnings=warnings,
+                          improvements=improvements)
+    if improvements:
+        return Comparison(COUNTER_IMPROVEMENT, warnings=warnings,
+                          improvements=improvements)
     if warnings:
         return Comparison(WALL_CLOCK_SOFT_FAIL, warnings=warnings)
     return Comparison(CLEAN)
@@ -106,6 +150,7 @@ def _compare_counters(
     base: Dict[str, int],
     current: Dict[str, int],
     errors: List[str],
+    improvements: List[str],
 ) -> None:
     for key in sorted(set(base) | set(current)):
         if key not in current:
@@ -113,9 +158,16 @@ def _compare_counters(
         elif key not in base:
             errors.append(f"{name}.{key}: new counter ({current[key]}) not in baseline")
         elif base[key] != current[key]:
-            errors.append(
-                f"{name}.{key}: baseline {base[key]} != run {current[key]}"
-            )
+            if _is_cost_counter(key) and current[key] < base[key]:
+                saved = base[key] - current[key]
+                improvements.append(
+                    f"{name}.{key}: baseline {base[key]} -> run {current[key]} "
+                    f"(-{saved}, cost counter improved)"
+                )
+            else:
+                errors.append(
+                    f"{name}.{key}: baseline {base[key]} != run {current[key]}"
+                )
 
 
 def _compare_wall(

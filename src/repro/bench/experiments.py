@@ -33,6 +33,7 @@ from repro.apps.banking import (
 from repro.apps.manufacturing import MANUFACTURING_NODES, build_manufacturing_system
 from repro.core import Rollforward, dump_volume
 from repro.discprocess import (
+    BoxcarPolicy,
     FileSchema,
     KEY_SEQUENCED,
     KeySequencedFile,
@@ -70,8 +71,9 @@ def _build_banking(
     keep_trace: bool = False,
     cache_capacity: int = 256,
     restart_limit: int = 8,
+    boxcar: Any = True,
 ) -> Tuple[Any, List[str]]:
-    builder = SystemBuilder(seed=seed, keep_trace=keep_trace)
+    builder = SystemBuilder(seed=seed, keep_trace=keep_trace, boxcar=boxcar)
     builder.add_node("alpha", cpus=cpus)
     cpu_pairs = [(c, c + 1) for c in range(0, cpus - 1, 2)]
     volume_names = []
@@ -570,6 +572,53 @@ def e10_process_pairs(scale: str) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# E11 — BOXCAR flush-policy sweep (audit round-trips per commit)
+# ----------------------------------------------------------------------
+def e11_boxcar(scale: str) -> Dict[str, Any]:
+    """The same pinned workload under three audit-forwarding policies.
+
+    ``sync`` is the legacy one-AppendAudit-per-operation path,
+    ``default`` the stock boxcar, ``wide`` a deliberately large one.
+    The counters are the measured evidence for the group-commit claim:
+    batches sent (audit round-trips), records carried, and round-trips
+    saved relative to synchronous forwarding — all while the
+    consistency check still passes.
+    """
+    duration = 1200.0 if scale == SMOKE else 4000.0
+    policies: List[Tuple[str, Any]] = [
+        ("sync", False),
+        ("default", True),
+        ("wide", BoxcarPolicy(max_records=64, max_wait_ms=20.0)),
+    ]
+    counters: Dict[str, int] = {}
+    info: Dict[str, Any] = {}
+    events = 0
+    for label, policy in policies:
+        system, terminals = _build_banking(
+            seed=127, accounts=32, terminals=8, boxcar=policy
+        )
+        result = _drive(system, terminals, duration=duration, accounts=32,
+                        seed=6)
+        _settle(system)
+        dp = system.disc_processes[("alpha", "$data")]
+        batches = dp.audit_batches_sent
+        records = dp.audit_records_forwarded
+        counters[f"committed_{label}"] = result.committed
+        counters[f"audit_batches_{label}"] = batches
+        counters[f"audit_records_{label}"] = records
+        counters[f"rt_saved_{label}"] = records - batches
+        counters[f"consistent_{label}"] = _consistent(system)
+        events += system.env.events_processed
+        info[f"tx_per_s_{label}"] = result.throughput
+        if result.committed:
+            info[f"audit_rt_per_commit_{label}"] = round(
+                batches / result.committed, 3
+            )
+    counters["events"] = events
+    return {"counters": counters, "info": info}
+
+
+# ----------------------------------------------------------------------
 # F1 — redundant-path survey of the hardware fabric
 # ----------------------------------------------------------------------
 def f1_hardware_paths(scale: str) -> Dict[str, Any]:
@@ -738,6 +787,7 @@ EXPERIMENTS: Dict[str, Callable[[str], Dict[str, Any]]] = {
     "e8_restart": e8_restart,
     "e9_failure_sweep": e9_failure_sweep,
     "e10_process_pairs": e10_process_pairs,
+    "e11_boxcar": e11_boxcar,
     "f1_hardware_paths": f1_hardware_paths,
     "f2_configuration": f2_configuration,
     "f3_state_machine": f3_state_machine,

@@ -297,17 +297,13 @@ class AuditProcess(ConcurrentPair):
                 # by_tx entry while the checkpoint below is in flight.
                 tx_snapshot[tx_key] = list(self.state["by_tx"][tx_key])
             # One physical checkpoint message carries all the tables.
-            yield from self.checkpoint_update("buffer", updates=buffer_updates)
-            yield from self.checkpoint_update(
-                "high_seq",
-                updates={payload.volume: max(r.seq for r in fresh)},
-                _charge=False,
-            )
-            yield from self.checkpoint_update(
-                "by_tx", updates=tx_snapshot, _charge=False
-            )
-            yield from self.checkpoint(
-                _charge=False, next_index=self.state["next_index"]
+            yield from self.checkpoint_multi(
+                [
+                    ("buffer", buffer_updates, ()),
+                    ("high_seq", {payload.volume: max(r.seq for r in fresh)}, ()),
+                    ("by_tx", tx_snapshot, ()),
+                ],
+                scalars={"next_index": self.state["next_index"]},
             )
         proc.reply(message, {"ok": True, "accepted": len(fresh)})
 
@@ -336,8 +332,14 @@ class AuditProcess(ConcurrentPair):
                 durable_updates[volume] = max(
                     durable_updates.get(volume, -1), record.seq
                 )
-            yield from self.checkpoint_update("buffer", removals=indices)
-            yield from self.checkpoint_update("durable_high", updates=durable_updates)
+            # One multi-part checkpoint (buffer drain + durable marks)
+            # instead of two charged messages.
+            yield from self.checkpoint_multi(
+                [
+                    ("buffer", None, indices),
+                    ("durable_high", durable_updates, ()),
+                ]
+            )
         else:
             # An empty force still costs one rotation to write the
             # commit-fence block.

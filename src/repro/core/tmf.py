@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
-from ..discprocess.ops import QuiesceTransaction, ReleaseLocks
+from ..discprocess.ops import ForceBoxcar, QuiesceTransaction, ReleaseLocks
 from ..guardian import (
     FileSystem,
     FileSystemError,
@@ -404,6 +404,26 @@ class TmfNode:
     def _phase1_here_and_below(self, proc: OsProcess, record: TransactionRecord) -> Generator:
         """Force local audit, then critical-response phase 1 to children."""
         transid = record.transid
+        # Drain each participating volume's audit boxcar first: images
+        # still aboard (or on the wire) must reach the AUDITPROCESS
+        # before the trail force below can cover them.  Node-local fast
+        # path: a registered DISCPROCESS with a provably-empty boxcar is
+        # skipped without a round-trip.
+        for volume in sorted(record.local_volumes):
+            disc = self.disc_objects.get(volume)
+            if disc is not None and not disc.audit_drain_needed:
+                continue
+            try:
+                reply = yield from self.filesystem.send(
+                    proc, volume, ForceBoxcar(transid),
+                    timeout=self.config.force_timeout,
+                )
+            except FileSystemError as exc:
+                record.abort_reason = f"boxcar drain failed: {exc}"
+                return False
+            if not reply.get("ok"):
+                record.abort_reason = "boxcar drain rejected"
+                return False
         for audit_name in sorted(record.local_audit_processes):
             try:
                 reply = yield from self.filesystem.send(

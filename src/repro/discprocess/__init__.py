@@ -8,6 +8,7 @@ fault-tolerant DISCPROCESS process-pair per mirrored disc volume.
 """
 
 from .blocks import BlockStore, MemoryBlockStore, VolumeBlockStore
+from .boxcar import BoxcarPolicy, resolve_boxcar
 from .cache import BlockCache, CachedVolumeStore, CacheStats
 from .ddl import DdlError, install_ddl, parse_ddl
 from .client import (
@@ -34,6 +35,7 @@ from .records import (
     RecordError,
     SecuritySpec,
 )
+from .ops import ForceBoxcar
 from .relative import RelativeFile, SlotError
 from .volume import DiscProcess
 
@@ -41,6 +43,7 @@ __all__ = [
     "AlternateIndex",
     "BlockCache",
     "BlockStore",
+    "BoxcarPolicy",
     "CacheStats",
     "CachedVolumeStore",
     "DataDictionary",
@@ -54,6 +57,7 @@ __all__ = [
     "FileError",
     "FileSchema",
     "FileUnavailableError",
+    "ForceBoxcar",
     "KEY_SEQUENCED",
     "KeyNotFound",
     "KeySequencedFile",
@@ -75,4 +79,5 @@ __all__ = [
     "VolumeBlockStore",
     "install_ddl",
     "parse_ddl",
+    "resolve_boxcar",
 ]

@@ -1,0 +1,82 @@
+"""BOXCAR: group-commit batching policy for the audit forward path.
+
+The paper's §Audit Trails has audit images *buffered* at the
+AUDITPROCESS and forced only during phase one of commit — nothing in the
+protocol requires each operation to pay a forward round-trip of its own.
+BOXCAR exploits that: the DISCPROCESS accumulates unforwarded audit
+images (already checkpointed, so a takeover re-forwards them) and ships
+them to the AUDITPROCESS asynchronously in batches, leaving only two
+forces on the commit critical path — the boxcar drain and the trail
+force — exactly the "which log forces matter" split of Gray & Lamport's
+*Consensus on Transaction Commit*.
+
+:class:`BoxcarPolicy` is the flush policy knob:
+
+* ``max_records`` — flush as soon as this many images are unforwarded;
+* ``max_wait_ms`` — flush at most this long after the oldest unflushed
+  image arrived (the boxcar never idles with cargo);
+* an explicit **force** (phase-one drain, abort quiesce, takeover
+  re-forward) always flushes immediately and synchronously.
+
+``resolve_boxcar`` normalizes the user-facing spellings (``True`` /
+``False`` / a policy instance) used by ``SystemBuilder(boxcar=...)`` and
+``DiscProcess(boxcar=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "BoxcarPolicy",
+    "FLUSH_FORCE",
+    "FLUSH_MAX_RECORDS",
+    "FLUSH_TAKEOVER",
+    "FLUSH_TIMER",
+    "resolve_boxcar",
+]
+
+#: flush reasons, used as XRAY counter suffixes and TRACE fields.
+FLUSH_MAX_RECORDS = "max_records"
+FLUSH_TIMER = "timer"
+FLUSH_FORCE = "force"
+FLUSH_TAKEOVER = "takeover"
+
+
+@dataclass(frozen=True)
+class BoxcarPolicy:
+    """When an asynchronous audit boxcar departs on its own.
+
+    The defaults are deliberately small: a boxcar exists to absorb the
+    per-operation round-trip, not to delay phase one (which drains it
+    explicitly anyway, so ``max_wait_ms`` only bounds how stale the
+    AUDITPROCESS's buffered view of a volume may get).
+    """
+
+    max_records: int = 16
+    max_wait_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+
+def resolve_boxcar(boxcar: Any) -> Optional[BoxcarPolicy]:
+    """Normalize a ``boxcar=`` argument to a policy (or None = synchronous).
+
+    ``True`` means the default policy, ``False``/``None`` the legacy
+    synchronous forward-per-operation behaviour, and a
+    :class:`BoxcarPolicy` is taken as-is.
+    """
+    if boxcar is None or boxcar is False:
+        return None
+    if boxcar is True:
+        return BoxcarPolicy()
+    if isinstance(boxcar, BoxcarPolicy):
+        return boxcar
+    raise TypeError(
+        f"boxcar must be True, False, None, or a BoxcarPolicy, not {boxcar!r}"
+    )

@@ -37,6 +37,7 @@ __all__ = [
     "BackoutOp",
     "AuditRecord",
     "AppendAudit",
+    "ForceBoxcar",
     "VolumeStats",
     "FlushCache",
     "ERROR_CODES",
@@ -241,6 +242,22 @@ class AppendAudit:
 
     volume: str
     records: Tuple[AuditRecord, ...]
+
+
+@dataclass(frozen=True)
+class ForceBoxcar:
+    """Drain the volume's audit boxcar (phase-one / quiesce force).
+
+    The reply arrives only after every audit image the volume had
+    accumulated — for any transaction — has been accepted by its
+    AUDITPROCESS, which is what lets TMF's subsequent ``ForceAudit``
+    guarantee the trail holds the committing transaction's images.
+    ``transid`` identifies the requester for tracing only; the drain is
+    volume-wide (that is the group-commit effect: one transaction's
+    force pays the forward cost for everyone's cargo).
+    """
+
+    transid: Any = None
 
 
 @dataclass(frozen=True)

@@ -22,20 +22,34 @@ Fidelity notes:
   server died mid-operation, re-using the message id; completed replies
   are checkpointed so a retried-but-already-applied mutation answers
   from the record instead of re-executing.
-* **Audit flow**: images are forwarded to the volume's AUDITPROCESS
-  synchronously within each operation (after the checkpoint), so by the
-  time the application sees the reply its audit is buffered at the
-  AUDITPROCESS — which is what phase one's force relies on.
+* **Audit flow (BOXCAR)**: images are checkpointed into the pair's
+  ``unforwarded`` table within each operation, then shipped to the
+  volume's AUDITPROCESS *asynchronously* in batches by a per-volume
+  boxcar coroutine (flush policy: :class:`~.boxcar.BoxcarPolicy`).
+  Durability is unaffected: phase one of commit (and the quiesce that
+  precedes a backout) sends an explicit :class:`~.ops.ForceBoxcar` that
+  drains the boxcar before the trail force, so a transaction never
+  completes phase one — and backout never runs — with its images still
+  aboard.  With ``boxcar=False`` the legacy synchronous
+  forward-per-operation behaviour is restored.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..guardian import ConcurrentPair, FileSystem, FileSystemError, Message, NodeOs, OsProcess
 from ..hardware import MirroredVolume, VolumeUnavailable
-from ..sim import Tracer, fast_deepcopy
+from ..sim import Event, Tracer, fast_deepcopy
 from .blocks import BlockKey
+from .boxcar import (
+    FLUSH_FORCE,
+    FLUSH_MAX_RECORDS,
+    FLUSH_TAKEOVER,
+    FLUSH_TIMER,
+    resolve_boxcar,
+)
 from .cache import BlockCache, CachedVolumeStore
 from .index import StructuredFile
 from .keyseq import DuplicateKey, KeyNotFound
@@ -49,6 +63,7 @@ from .ops import (
     CreateFile,
     DeleteRecord,
     FlushCache,
+    ForceBoxcar,
     InsertRecord,
     LockFile,
     LockRecord,
@@ -94,6 +109,7 @@ class DiscProcess(ConcurrentPair):
         tmf_registry: Any = None,
         cache_capacity: int = 256,
         tracer: Optional[Tracer] = None,
+        boxcar: Any = True,
     ):
         self.volume = volume
         self.filesystem = filesystem
@@ -101,8 +117,21 @@ class DiscProcess(ConcurrentPair):
         self.tmf_registry = tmf_registry
         self.cache_capacity = cache_capacity
         self.crashed = False
+        self.boxcar = resolve_boxcar(boxcar)
         self._flushed_keys: List[BlockKey] = []
-        self._completed_order: List[int] = []
+        self._completed_order: Deque[int] = deque(maxlen=_COMPLETED_LIMIT)
+        #: plain counters surfaced by VolumeStats: AppendAudit batches
+        #: shipped and the images they carried (records/batches > 1 is
+        #: the boxcar's round-trip saving).
+        self.audit_batches_sent = 0
+        self.audit_records_forwarded = 0
+        # Boxcar runtime (volatile; reset by _build_runtime on takeover):
+        # the departure event of the batch currently on the wire (None =
+        # idle), whether the departure timer is alive, and when the
+        # oldest unforwarded image boarded.
+        self._forward_event: Optional[Event] = None
+        self._flusher_alive = False
+        self._boxcar_oldest_at: Optional[float] = None
         # In-flight audited mutations per transid (volatile: handlers die
         # with the primary).  Lets QuiesceTransaction order backout after
         # every straggling operation of an aborting transaction.
@@ -167,7 +196,22 @@ class DiscProcess(ConcurrentPair):
         self.locks = LockManager(self.env, self.name, self.tracer)
         for target, owner in self.state.get("locks", {}).items():
             self.locks._grant(owner, target)
-        self._completed_order = sorted(self.state.get("completed", {}))
+        known = sorted(self.state.get("completed", {}))
+        self._completed_order = deque(known, maxlen=_COMPLETED_LIMIT)
+        for old in known[: max(0, len(known) - _COMPLETED_LIMIT)]:
+            self.state["completed"].pop(old, None)
+            self.backup_state.get("completed", {}).pop(old, None)
+        # The unforwarded table is append-only by seq while a primary
+        # lives — _forward_audit relies on that (it ships .values() in
+        # insertion order).  Checkpoint mirroring preserves the order,
+        # but re-establish it defensively after a takeover/restart.
+        unforwarded = self.state.get("unforwarded")
+        if unforwarded:
+            self.state["unforwarded"] = dict(sorted(unforwarded.items()))
+        # Boxcar coroutines died with the old primary.
+        self._forward_event = None
+        self._flusher_alive = False
+        self._boxcar_oldest_at = None
 
     def _physical_read(self, key: BlockKey) -> Any:
         return self.volume.read_block(key)
@@ -190,9 +234,14 @@ class DiscProcess(ConcurrentPair):
 
     def on_start(self, proc: OsProcess) -> None:
         if self.state.get("unforwarded"):
-            self.env.process(
-                self._forward_audit(proc), name=f"{self.name}.reforward"
-            )
+            self._spawn_boxcar(self._reforward(proc), "reforward")
+
+    def _reforward(self, proc: OsProcess) -> Generator:
+        """Re-ship images a takeover inherited (checkpointed, unforwarded)."""
+        try:
+            yield from self._drain_boxcar(proc, FLUSH_TAKEOVER)
+        except VolumeUnavailable:
+            pass  # self-crash recorded; pending requests see volume_down
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -352,7 +401,9 @@ class DiscProcess(ConcurrentPair):
                 ),
             }
         elif isinstance(payload, QuiesceTransaction):
-            reply = yield from self._quiesce(payload)
+            reply = yield from self._quiesce(proc, payload)
+        elif isinstance(payload, ForceBoxcar):
+            reply = yield from self._force_boxcar(proc, payload)
         elif isinstance(payload, ReleaseLocks):
             reply = yield from self._release_locks(payload)
         elif isinstance(payload, BackoutOp):
@@ -598,13 +649,16 @@ class DiscProcess(ConcurrentPair):
         if allowed is not None and not allowed(transid):
             raise _TxNotActive(str(transid))
 
-    def _quiesce(self, payload: QuiesceTransaction) -> Generator:
+    def _quiesce(self, proc: OsProcess, payload: QuiesceTransaction) -> Generator:
         """Wait out in-flight operations of an aborting transaction."""
         tx_key = str(payload.transid)
         waited = 0.0
         while self._inflight.get(tx_key, 0) > 0 and waited < 10_000.0:
             yield self.env.timeout(2.0)
             waited += 2.0
+        # Backout fetches the aborting transaction's images via GetAudit,
+        # so they must be *at* the AUDITPROCESS, not aboard the boxcar.
+        yield from self._drain_boxcar(proc, FLUSH_FORCE)
         return {"ok": True, "waited": waited}
 
     def _register(self, transid: Any) -> None:
@@ -654,29 +708,34 @@ class DiscProcess(ConcurrentPair):
         lock_delta: Dict[Any, Any],
         reply: Dict[str, Any],
     ) -> Generator:
-        """Checkpoint, forward audit — the WAL-equivalent tail of an op."""
+        """Checkpoint, load the boxcar — the WAL-equivalent tail of an op."""
         journal = self._take_journal()
         prune = [key for key in self._flushed_keys if key not in journal]
         self._flushed_keys = []
         audit_updates = {record.seq: record for record in audit_records}
-        completed_entry = {message.msg_id: reply}
-        # One physical checkpoint message carries data blocks, audit
-        # images, lock grants, and the completed-reply record.
-        yield from self.checkpoint_update("dirty", updates=journal, removals=prune)
-        yield from self.checkpoint_update(
-            "completed", updates=completed_entry, _charge=False
-        )
+        # One physical checkpoint message carries data blocks, the
+        # completed-reply record, lock grants, audit images, and the
+        # audit cursor.
+        parts: List[Tuple[str, Optional[Dict[Any, Any]], Any]] = [
+            ("dirty", journal, prune),
+            ("completed", {message.msg_id: reply}, ()),
+        ]
         if lock_delta:
-            yield from self.checkpoint_update("locks", updates=lock_delta, _charge=False)
+            parts.append(("locks", lock_delta, ()))
+        scalars = None
         if audit_updates:
-            yield from self.checkpoint_update(
-                "unforwarded", updates=audit_updates, _charge=False
-            )
-            yield from self.checkpoint(_charge=False, audit_seq=self.state["audit_seq"])
+            parts.append(("unforwarded", audit_updates, ()))
+            scalars = {"audit_seq": self.state["audit_seq"]}
+        yield from self.checkpoint_multi(parts, scalars=scalars)
         self._remember_completed(message.msg_id)
         self.store.unpin(journal)
         if audit_updates:
-            yield from self._forward_audit(proc)
+            if self.boxcar is None:
+                # Legacy synchronous mode: the forward round-trip stays
+                # on the operation's critical path.
+                yield from self._forward_audit(proc, FLUSH_FORCE)
+            else:
+                self._boxcar_note(proc)
 
     def _take_journal(self) -> Dict[BlockKey, Any]:
         journal = dict(self.store.journal)
@@ -684,20 +743,124 @@ class DiscProcess(ConcurrentPair):
         return journal
 
     def _remember_completed(self, msg_id: int) -> None:
-        self._completed_order.append(msg_id)
-        while len(self._completed_order) > _COMPLETED_LIMIT:
-            old = self._completed_order.pop(0)
+        order = self._completed_order
+        if len(order) == _COMPLETED_LIMIT:
+            old = order[0]  # evicted by the append below (maxlen ring)
             self.state["completed"].pop(old, None)
             self.backup_state.get("completed", {}).pop(old, None)
+        order.append(msg_id)
 
-    def _forward_audit(self, proc: OsProcess) -> Generator:
-        """Ship unforwarded audit images to the AUDITPROCESS."""
-        if self.audit_process is None:
+    # ------------------------------------------------------------------
+    # BOXCAR: asynchronous batched audit forwarding
+    # ------------------------------------------------------------------
+    @property
+    def audit_drain_needed(self) -> bool:
+        """True while audit images are aboard the boxcar or on the wire.
+
+        TMF's phase one consults this (node-local fast path) to skip the
+        ForceBoxcar round-trip when there is provably nothing to drain.
+        """
+        return self._forward_event is not None or bool(self.state["unforwarded"])
+
+    def _spawn_boxcar(self, generator: Generator, suffix: str) -> None:
+        """Run a boxcar coroutine that dies with this primary (takeover-safe)."""
+        run = self.env.process(generator, name=f"{self.name}.{suffix}")
+        self._active_handlers.add(run)
+        run.callbacks.append(lambda _event: self._active_handlers.discard(run))
+
+    def _boxcar_note(self, proc: OsProcess) -> None:
+        """Note freshly-checkpointed cargo; schedule its departure.
+
+        Never blocks the operation that loaded the cargo — that is the
+        point: the forward round-trip leaves the operation's critical
+        path, and only an explicit force (phase one, quiesce) waits for
+        the AUDITPROCESS.
+        """
+        pending = self.state["unforwarded"]
+        if self._boxcar_oldest_at is None:
+            self._boxcar_oldest_at = self.env.now
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.observe("boxcar.occupancy", len(pending))
+        if (
+            len(pending) >= self.boxcar.max_records
+            and self._forward_event is None
+        ):
+            self._spawn_boxcar(self._flush_once(proc, FLUSH_MAX_RECORDS), "boxcar")
+        elif not self._flusher_alive:
+            self._flusher_alive = True
+            self._spawn_boxcar(self._boxcar_timer(proc), "boxcar-timer")
+
+    def _flush_once(self, proc: OsProcess, reason: str) -> Generator:
+        try:
+            yield from self._forward_audit(proc, reason)
+        except VolumeUnavailable:
+            pass  # self-crash recorded; pending requests see volume_down
+
+    def _boxcar_timer(self, proc: OsProcess) -> Generator:
+        """Departure timer: flush when the oldest cargo outwaits the policy."""
+        try:
+            while True:
+                if (
+                    self.crashed
+                    or self.primary_process is not proc
+                    or not self.state["unforwarded"]
+                ):
+                    return
+                oldest = (
+                    self._boxcar_oldest_at
+                    if self._boxcar_oldest_at is not None
+                    else self.env.now
+                )
+                deadline = oldest + self.boxcar.max_wait_ms
+                if deadline > self.env.now:
+                    yield self.env.timeout(deadline - self.env.now)
+                    continue
+                yield from self._forward_audit(proc, FLUSH_TIMER)
+        except VolumeUnavailable:
             return
+        finally:
+            self._flusher_alive = False
+
+    def _drain_boxcar(self, proc: OsProcess, reason: str) -> Generator:
+        """Flush until nothing is aboard or on the wire; returns the count."""
+        flushed = 0
+        while self._forward_event is not None or self.state["unforwarded"]:
+            flushed += yield from self._forward_audit(proc, reason)
+        return flushed
+
+    def _force_boxcar(self, proc: OsProcess, payload: ForceBoxcar) -> Generator:
+        """Serve ForceBoxcar: phase one's explicit drain (group commit)."""
+        start = self.env.now
+        flushed = yield from self._drain_boxcar(proc, FLUSH_FORCE)
+        metrics = self.env.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.inc("boxcar.forces")
+            if payload.transid is not None and self.env.now > start:
+                metrics.spans.record(
+                    str(payload.transid), "boxcar-drain", "disc",
+                    start, self.env.now,
+                )
+        return {"ok": True, "flushed": flushed}
+
+    def _forward_audit(self, proc: OsProcess, reason: str) -> Generator:
+        """Ship every unforwarded audit image to the AUDITPROCESS.
+
+        Single-flight: if a batch is already on the wire, wait for it to
+        land and re-examine.  Concurrent callers therefore never
+        interleave AppendAudit messages, and because ``unforwarded`` is
+        append-only by seq, ``.values()`` is already the wire order — no
+        sort.  Returns the number of images shipped by *this* call.
+        """
+        if self.audit_process is None:
+            return 0
+        while self._forward_event is not None:
+            yield self._forward_event
         pending = self.state["unforwarded"]
         if not pending:
-            return
-        batch = tuple(pending[seq] for seq in sorted(pending))
+            return 0
+        batch = tuple(pending.values())
+        departed = self._forward_event = Event(self.env)
         try:
             result = yield from self.filesystem.send(
                 proc,
@@ -712,10 +875,28 @@ class DiscProcess(ConcurrentPair):
             self.crashed = True
             self._trace("volume_crashed", reason=f"audit unavailable: {exc}")
             raise VolumeUnavailable(str(exc)) from exc
+        finally:
+            self._forward_event = None
+            departed.succeed()
         if result.get("ok"):
             yield from self.checkpoint_update(
                 "unforwarded", removals=[record.seq for record in batch]
             )
+            self.audit_batches_sent += 1
+            self.audit_records_forwarded += len(batch)
+            self._boxcar_oldest_at = (
+                self.env.now if self.state["unforwarded"] else None
+            )
+            metrics = self.env.metrics
+            if metrics is not None and metrics.enabled:
+                metrics.inc(f"boxcar.flush.{reason}")
+                metrics.inc("boxcar.records_forwarded", len(batch))
+                if len(batch) > 1:
+                    metrics.inc("boxcar.roundtrips_saved", len(batch) - 1)
+                metrics.observe("boxcar.batch_records", len(batch))
+            if self.tracer is not None:
+                self._trace("boxcar_flush", reason=reason, records=len(batch))
+        return len(batch)
 
     # ------------------------------------------------------------------
     # Lock release (phase two) and backout
@@ -872,6 +1053,11 @@ class DiscProcess(ConcurrentPair):
             "compression": self._compression_stats(),
             "dirty_blocks": len(self.state["dirty"]),
             "takeovers": self.takeovers,
+            "audit": {
+                "batches_sent": self.audit_batches_sent,
+                "records_forwarded": self.audit_records_forwarded,
+                "unforwarded": len(self.state["unforwarded"]),
+            },
         }
 
     def _compression_stats(self) -> Dict[str, float]:

@@ -33,6 +33,7 @@ from ..core import (
     legal_transitions_by_name,
 )
 from ..discprocess import DataDictionary, DiscProcess, FileClient, FileSchema
+from ..discprocess.boxcar import resolve_boxcar
 from ..guardian import Cluster, NodeOs
 from ..hardware import Latencies
 from ..measure import NULL_REGISTRY, MetricsRegistry, Sampler
@@ -214,7 +215,13 @@ class SystemBuilder:
         sample_interval: float = 100.0,
         trace: bool = False,
         watchdog: Any = None,
+        boxcar: Any = True,
     ):
+        # ``boxcar`` accepts True (default policy), False (legacy
+        # synchronous per-operation audit forwarding) or a
+        # :class:`~repro.discprocess.BoxcarPolicy`; applied to every
+        # volume added through :meth:`add_volume`.
+        self.boxcar = resolve_boxcar(boxcar)
         metrics = MetricsRegistry() if measure else None
         self.cluster = Cluster(
             seed=seed, latencies=latencies, keep_trace=keep_trace,
@@ -321,6 +328,7 @@ class SystemBuilder:
             tmf_registry=self.system.tmf[node],
             cache_capacity=cache_capacity,
             tracer=self.cluster.tracer,
+            boxcar=self.boxcar,
         )
         self.system.tmf[node].register_disc_process(name, disc_process)
         self.system.disc_processes[(node, name)] = disc_process

@@ -205,6 +205,61 @@ class ProcessPair:
             for key in removals:
                 backup_table.pop(key, None)
 
+    def checkpoint_multi(
+        self,
+        parts: Any,
+        scalars: Optional[Dict[str, Any]] = None,
+        _charge: bool = True,
+    ) -> Generator:
+        """Delta-checkpoint several tables (plus scalars) in one message.
+
+        ``parts`` is a sequence of ``(table, updates, removals)``.
+        Semantically equivalent to one :meth:`checkpoint_update` per part
+        plus a :meth:`checkpoint` of the scalars, but the whole
+        multi-part payload costs a *single* checkpoint message — the
+        coalescing the real pairs did: one IPC carries every delta an
+        operation produced.
+        """
+        for table, updates, removals in parts:
+            table_state = self.state.setdefault(table, {})
+            if updates:
+                table_state.update(updates)
+            for key in removals:
+                table_state.pop(key, None)
+        if scalars:
+            for key, value in scalars.items():
+                self.state[key] = value
+        if self.backup_cpu is not None:
+            if _charge:
+                node = self.node_os.node
+                latency = node.latencies.checkpoint
+                node.buses.record_transfer(latency)
+                yield self.env.timeout(latency)
+                self.checkpoints_sent += 1
+                metrics = self.env.metrics
+                if metrics is not None and metrics.enabled:
+                    metrics.inc("pair.checkpoints")
+                if self.tracer is not None:
+                    self._trace(
+                        "checkpoint",
+                        tables=[table for table, _u, _r in parts],
+                    )
+            atomic = ATOMIC_TYPES
+            backup_state = self.backup_state
+            for table, updates, removals in parts:
+                backup_table = backup_state.setdefault(table, {})
+                if updates:
+                    for key, value in updates.items():
+                        backup_table[key] = (
+                            value if value.__class__ in atomic
+                            else fast_deepcopy(value)
+                        )
+                for key in removals:
+                    backup_table.pop(key, None)
+            if scalars:
+                for key, value in scalars.items():
+                    backup_state[key] = fast_deepcopy(value)
+
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------

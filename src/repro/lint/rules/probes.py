@@ -16,6 +16,15 @@ scanned files — a function that is.  Delegation is the norm
 (``reply`` probes via ``_transit_latency``), so coverage propagates
 through the static call graph rather than demanding a probe per
 function.
+
+BOXCAR extended the convention into ``repro/discprocess/``: the audit
+boxcar forwards off the operation's critical path, so an unprobed flush
+is *doubly* invisible — no caller ever waits on it.  A DISCPROCESS
+function is therefore a send path too when it constructs an
+``AppendAudit`` (ships audit cargo to the AUDITPROCESS) or is a boxcar
+coroutine (a generator whose name contains ``boxcar`` — the flush
+machinery).  The same coverage rule applies; pure policy helpers such
+as ``resolve_boxcar`` are plain functions and stay out of scope.
 """
 
 from __future__ import annotations
@@ -30,8 +39,12 @@ __all__ = ["ProbeCoverageRule"]
 #: attribute names whose read constitutes a probe.
 _PROBE_ATTRS = frozenset({"metrics", "trace"})
 
-#: call targets that make a function a send path.
+#: call targets that make a guardian function a send path.
 _SEND_MARKERS = frozenset({"record_transfer", "accept"})
+
+#: constructed types that make a discprocess function a send path —
+#: the ops that ship audit cargo off-node.
+_AUDIT_SHIP_TYPES = frozenset({"AppendAudit"})
 
 #: names too generic to carry coverage credit across the call graph —
 #: container/IO methods and simulation plumbing collide with unrelated
@@ -64,15 +77,26 @@ def _called_names(func: ast.AST) -> Set[str]:
     return names
 
 
-def _constructs_message(func: ast.AST) -> bool:
+def _constructs(func: ast.AST, targets: frozenset) -> bool:
     for node in ast.walk(func):
         if isinstance(node, ast.Call):
             callee = node.func
             name = callee.id if isinstance(callee, ast.Name) else (
                 callee.attr if isinstance(callee, ast.Attribute) else None
             )
-            if name == "Message":
+            if name in targets:
                 return True
+    return False
+
+
+_MESSAGE_TYPES = frozenset({"Message"})
+
+
+def _is_coroutine(func: ast.AST) -> bool:
+    """True when the body yields — i.e. it runs on simulated time."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
     return False
 
 
@@ -96,8 +120,9 @@ class ProbeCoverageRule(Rule):
     name = "probe-coverage"
     description = (
         "every guardian send/rpc path (Message construction, transit "
-        "accounting, inbox delivery) must reach an env.metrics/env.trace "
-        "probe, directly or through its callees"
+        "accounting, inbox delivery) and every discprocess boxcar/audit-"
+        "shipping path must reach an env.metrics/env.trace probe, "
+        "directly or through its callees"
     )
 
     def __init__(self) -> None:
@@ -115,10 +140,16 @@ class ProbeCoverageRule(Rule):
                 self._covered_names.add(name)
             called = _called_names(func)
             self._calls_by_name.setdefault(name, set()).update(called)
-            if module.repro_package != "guardian":
-                continue
-            if _constructs_message(func) or (called & _SEND_MARKERS):
-                self._required.append((module, qualname, func))
+            if module.repro_package == "guardian":
+                if _constructs(func, _MESSAGE_TYPES) or (called & _SEND_MARKERS):
+                    self._required.append((module, qualname, func))
+            elif module.repro_package == "discprocess":
+                # BOXCAR probe sites: audit shipped to the AUDITPROCESS,
+                # and the flush coroutines that decide when it departs.
+                if _constructs(func, _AUDIT_SHIP_TYPES) or (
+                    "boxcar" in name and _is_coroutine(func)
+                ):
+                    self._required.append((module, qualname, func))
         return
         yield  # pragma: no cover - all findings deferred to finalize()
 

@@ -79,7 +79,8 @@ class TmfRig:
             self.clients[name] = FileClient(self.cluster.fs(name), self.dictionary)
         self.cluster.connect_all()
 
-    def add_volume(self, node_name, volume_name, cpus=(0, 1), audited=True):
+    def add_volume(self, node_name, volume_name, cpus=(0, 1), audited=True,
+                   boxcar=True):
         node_os = self.cluster.os(node_name)
         volume = node_os.node.add_volume(volume_name, *cpus)
         dp = DiscProcess(
@@ -92,6 +93,7 @@ class TmfRig:
             audit_process="$aud" if audited else None,
             tmf_registry=self.tmf[node_name],
             tracer=self.cluster.tracer,
+            boxcar=boxcar,
         )
         self.tmf[node_name].register_disc_process(volume_name, dp)
         self.disc_processes[(node_name, volume_name)] = dp

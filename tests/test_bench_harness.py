@@ -3,8 +3,9 @@
 The harness's job is to make the regression gate trustworthy: the
 runner must produce deterministic counters, the report must round-trip
 through JSON unchanged (it is diffed against a checked-in baseline),
-and the comparator must land on exactly one of its three verdicts —
-clean, counter-drift, wall-clock-soft-fail — for the right reasons.
+and the comparator must land on exactly one of its four verdicts —
+clean, counter-drift, counter-improvement, wall-clock-soft-fail — for
+the right reasons.
 """
 
 import copy
@@ -15,6 +16,7 @@ import pytest
 from repro.bench import (
     CLEAN,
     COUNTER_DRIFT,
+    COUNTER_IMPROVEMENT,
     EXPERIMENTS,
     SCHEMA,
     WALL_CLOCK_SOFT_FAIL,
@@ -29,7 +31,7 @@ from repro.bench import (
 # ----------------------------------------------------------------------
 def test_registry_covers_the_paper_suite():
     names = set(EXPERIMENTS)
-    assert {f"e{i}" for i in range(1, 11)} == {n.split("_")[0] for n in names
+    assert {f"e{i}" for i in range(1, 12)} == {n.split("_")[0] for n in names
                                               if n.startswith("e")}
     assert {f"f{i}" for i in range(1, 5)} == {n.split("_")[0] for n in names
                                              if n.startswith("f")}
@@ -133,10 +135,45 @@ def test_tiny_experiments_skip_wall_comparison():
 def test_counter_drift_beats_soft_fail():
     baseline = _report(wall=100.0)
     current = _report(wall=200.0)
-    current["experiments"]["e_example"]["counters"]["events"] = 999
+    # events going *up* is a cost regression: plain drift.
+    current["experiments"]["e_example"]["counters"]["events"] = 1001
     comparison = compare_reports(baseline, current)
     assert comparison.verdict == COUNTER_DRIFT
     assert comparison.warnings, "the wall regression is still reported"
+
+
+def test_cost_counter_drop_is_an_improvement_not_drift():
+    baseline = _report()
+    current = _report()
+    current["experiments"]["e_example"]["counters"]["events"] = 900
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_IMPROVEMENT
+    assert not comparison.ok, "the baseline still has to be re-recorded"
+    assert not comparison.errors
+    assert any("cost counter improved" in line
+               for line in comparison.improvements)
+
+
+def test_improvement_plus_real_drift_is_drift():
+    baseline = _report()
+    current = _report()
+    counters = current["experiments"]["e_example"]["counters"]
+    counters["events"] = 900    # cost improved ...
+    counters["commits"] = 11    # ... but outcomes changed too
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_DRIFT
+    assert comparison.improvements, "the improvement is still reported"
+    assert any("commits" in e for e in comparison.errors)
+
+
+def test_outcome_counter_drop_is_still_drift():
+    # commits is an outcome, not a cost: fewer commits is never "better".
+    baseline = _report()
+    current = _report()
+    current["experiments"]["e_example"]["counters"]["commits"] = 9
+    comparison = compare_reports(baseline, current)
+    assert comparison.verdict == COUNTER_DRIFT
+    assert not comparison.improvements
 
 
 def test_missing_and_extra_experiments_are_drift():

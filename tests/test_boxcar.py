@@ -1,0 +1,293 @@
+"""BOXCAR: group-commit audit pipelining on the DISCPROCESS write path.
+
+The boxcar decouples audit forwarding from the operation that produced
+the images: writes checkpoint their after-images into ``unforwarded``
+and return; a per-volume coroutine ships them to the AUDITPROCESS in
+batches (policy-driven), and only an explicit force — TMF phase one,
+quiesce — waits for the trail.  The tests here pin down the three
+flush triggers and, above all, the failure contract: **a committed
+transaction's audit is never silently dropped**, whatever fails.
+"""
+
+import pytest
+
+from repro.core import ForceAudit, GetAudit, TransactionAborted
+from repro.discprocess import BoxcarPolicy, ForceBoxcar, resolve_boxcar
+from repro.discprocess import FileSchema, KEY_SEQUENCED, PartitionSpec
+
+from conftest import TmfRig
+
+#: a policy whose timer never plausibly fires inside a test episode —
+#: cargo departs only on max_records or an explicit force.
+PATIENT = BoxcarPolicy(max_records=1000, max_wait_ms=10_000_000.0)
+
+
+def schema_for(node):
+    return FileSchema(
+        name=f"{node}_accts",
+        organization=KEY_SEQUENCED,
+        primary_key=("aid",),
+        audited=True,
+        partitions=(PartitionSpec(node, "$data"),),
+    )
+
+
+def make_rig(boxcar=True):
+    rig = TmfRig(nodes=("alpha",))
+    rig.add_volume("alpha", "$data", boxcar=boxcar)
+    rig.dictionary.define(schema_for("alpha"))
+    return rig
+
+
+def create_and_begin(rig, proc):
+    tmf = rig.tmf["alpha"]
+    client = rig.clients["alpha"]
+    yield from client.create_file(proc, rig.dictionary.schema("alpha_accts"))
+    transid = yield from tmf.begin(proc)
+    return tmf, client, transid
+
+
+# ----------------------------------------------------------------------
+# Policy resolution
+# ----------------------------------------------------------------------
+class TestPolicy:
+    def test_disabled_modes_resolve_to_none(self):
+        assert resolve_boxcar(False) is None
+        assert resolve_boxcar(None) is None
+
+    def test_true_is_the_stock_policy(self):
+        assert resolve_boxcar(True) == BoxcarPolicy()
+
+    def test_explicit_policy_passes_through(self):
+        policy = BoxcarPolicy(max_records=64, max_wait_ms=20.0)
+        assert resolve_boxcar(policy) is policy
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_boxcar("fast please")
+
+    def test_policy_validates_bounds(self):
+        with pytest.raises(ValueError):
+            BoxcarPolicy(max_records=0)
+        with pytest.raises(ValueError):
+            BoxcarPolicy(max_wait_ms=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Flush triggers: max_records, timer, force
+# ----------------------------------------------------------------------
+class TestFlushPolicies:
+    def test_max_records_triggers_one_batch(self):
+        rig = make_rig(boxcar=BoxcarPolicy(max_records=3,
+                                           max_wait_ms=10_000_000.0))
+        dp = rig.disc_processes[("alpha", "$data")]
+
+        def body(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            for i in range(3):
+                yield from client.insert(
+                    proc, "alpha_accts", {"aid": i, "balance": i},
+                    transid=transid,
+                )
+            yield rig.cluster.env.timeout(100)  # let the flush round-trip
+            return dict(dp.state["unforwarded"])
+
+        unforwarded = rig.run("alpha", body)
+        assert unforwarded == {}, "the third record should trip the flush"
+        assert dp.audit_batches_sent == 1
+        assert dp.audit_records_forwarded == 3
+
+    def test_timer_flushes_waiting_cargo(self):
+        rig = make_rig(boxcar=BoxcarPolicy(max_records=1000, max_wait_ms=40.0))
+        dp = rig.disc_processes[("alpha", "$data")]
+
+        def body(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            yield from client.insert(
+                proc, "alpha_accts", {"aid": 1, "balance": 1}, transid=transid
+            )
+            aboard = len(dp.state["unforwarded"])
+            yield rig.cluster.env.timeout(300)  # > max_wait_ms + round-trip
+            return aboard, len(dp.state["unforwarded"])
+
+        aboard, after = rig.run("alpha", body)
+        assert aboard == 1, "cargo waits aboard until the timer"
+        assert after == 0
+        assert dp.audit_batches_sent == 1
+
+    def test_commit_forces_the_drain(self):
+        # Phase one's ForceBoxcar drains a patient boxcar before the
+        # trail force: commit durability never waits on the lazy timer.
+        rig = make_rig(boxcar=PATIENT)
+        dp = rig.disc_processes[("alpha", "$data")]
+
+        def body(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            for i in range(2):
+                yield from client.insert(
+                    proc, "alpha_accts", {"aid": i, "balance": i},
+                    transid=transid,
+                )
+            aboard = len(dp.state["unforwarded"])
+            yield from tmf.end(proc, transid)
+            return aboard
+
+        aboard = rig.run("alpha", body)
+        assert aboard == 2, "nothing left the boxcar before commit"
+        assert dp.state["unforwarded"] == {}
+        assert dp.audit_batches_sent == 1, "one batch, not one per record"
+        trail = rig.audit_processes["alpha"].trail
+        assert trail.total_records >= 2, "commit made the images durable"
+
+    def test_sync_mode_forwards_inline(self):
+        rig = make_rig(boxcar=False)
+        dp = rig.disc_processes[("alpha", "$data")]
+
+        def body(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            for i in range(2):
+                yield from client.insert(
+                    proc, "alpha_accts", {"aid": i, "balance": i},
+                    transid=transid,
+                )
+            # Legacy path: every op forwards before replying.
+            return len(dp.state["unforwarded"])
+
+        assert rig.run("alpha", body) == 0
+        assert dp.audit_batches_sent == 2
+        assert dp.audit_records_forwarded == 2
+
+
+# ----------------------------------------------------------------------
+# Failure contract: committed audit is never silently dropped
+# ----------------------------------------------------------------------
+class TestBoxcarFaults:
+    def test_auditprocess_down_crashes_volume_not_drops_audit(self):
+        """A drain that cannot reach the AUDITPROCESS must self-crash the
+        volume — never ack a force while cargo is stranded aboard."""
+        rig = make_rig(boxcar=PATIENT)
+        dp = rig.disc_processes[("alpha", "$data")]
+        # Pin the AUDITPROCESS to its home CPUs so failing both really
+        # downs the pair (it otherwise migrates to any spare CPU).
+        rig.audit_processes["alpha"].allowed_cpus = {2, 3}
+
+        def load(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            yield from client.insert(
+                proc, "alpha_accts", {"aid": 1, "balance": 1}, transid=transid
+            )
+            return transid
+
+        transid = rig.run("alpha", load)
+        assert len(dp.state["unforwarded"]) == 1
+
+        # Both AUDITPROCESS CPUs die with cargo still aboard.
+        rig.cluster.node("alpha").fail_cpu(2)
+        rig.cluster.node("alpha").fail_cpu(3)
+
+        def force(proc):
+            reply = yield from rig.cluster.fs("alpha").send(
+                proc, "$data", ForceBoxcar(transid), timeout=20_000.0
+            )
+            return reply
+
+        reply = rig.run("alpha", force)
+        assert reply == {"ok": False, "error": "volume_down"}
+        assert dp.crashed, "the volume self-crashed rather than lie"
+        # The images are still in the replicated state: recovery (cold
+        # restart -> reforward) re-ships them; nothing was dropped.
+        assert len(dp.state["unforwarded"]) == 1
+
+    def test_takeover_reforwards_checkpointed_cargo(self):
+        """Cargo aboard at takeover was checkpointed with the write that
+        produced it; the new primary must ship it unprompted."""
+        rig = make_rig(boxcar=PATIENT)
+        dp = rig.disc_processes[("alpha", "$data")]
+
+        def load(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            for i in range(2):
+                yield from client.insert(
+                    proc, "alpha_accts", {"aid": i, "balance": i},
+                    transid=transid,
+                )
+            return transid
+
+        # Run the transaction on CPU 2 so failing the volume's primary
+        # CPU does not also kill the transaction's owner (which would
+        # trigger a backout and muddy the cargo accounting).
+        transid = rig.run("alpha", load, cpu=2)
+        assert len(dp.state["unforwarded"]) == 2
+        rig.cluster.node("alpha").fail_cpu(0)  # volume primary
+
+        def settle(proc):
+            yield rig.cluster.env.timeout(2000)
+            reply = yield from rig.cluster.fs("alpha").send(
+                proc, "$aud", GetAudit(transid)
+            )
+            return reply
+
+        reply = rig.run("alpha", settle, cpu=2)  # cpu 0 is down
+        assert dp.takeovers == 1
+        assert dp.state["unforwarded"] == {}, "the new primary reforwarded"
+        assert len(reply["records"]) == 2, (
+            "every checkpointed image reached the AUDITPROCESS"
+        )
+
+    def test_commit_aborts_when_drain_fails(self):
+        """Phase one votes no if the boxcar cannot drain: the client
+        never sees a commit whose audit did not reach the trail."""
+        rig = TmfRig(nodes=("alpha",), cpu_count=6)
+        # Rehome the AUDITPROCESS on CPUs 4/5 so killing it spares TMP.
+        from repro.core import AuditProcess, AuditTrail
+
+        node_os = rig.cluster.os("alpha")
+        audit_volume = node_os.node.add_volume("$audvol2", 4, 5)
+        trail = AuditTrail(audit_volume)
+        audit = AuditProcess(node_os, "$aud2", 4, 5, trail, rig.cluster.tracer)
+        audit.allowed_cpus = {4, 5}  # no migration: failing both downs it
+        rig.tmf["alpha"].register_audit_process("$aud2", audit)
+        node_os.node.add_volume("$data", 0, 1)
+        from repro.discprocess import DiscProcess
+
+        dp = DiscProcess(
+            node_os, "$data", 0, 1, node_os.node.volumes["$data"],
+            rig.cluster.fs("alpha"), audit_process="$aud2",
+            tmf_registry=rig.tmf["alpha"], tracer=rig.cluster.tracer,
+            boxcar=PATIENT,
+        )
+        rig.tmf["alpha"].register_disc_process("$data", dp)
+        rig.disc_processes[("alpha", "$data")] = dp
+        rig.dictionary.define(schema_for("alpha"))
+
+        def body(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            yield from client.insert(
+                proc, "alpha_accts", {"aid": 1, "balance": 1}, transid=transid
+            )
+            # The AUDITPROCESS dies with the image still aboard.
+            rig.cluster.node("alpha").fail_cpu(4)
+            rig.cluster.node("alpha").fail_cpu(5)
+            try:
+                yield from tmf.end(proc, transid)
+            except TransactionAborted:
+                return "aborted"
+            return "committed"
+
+        assert rig.run("alpha", body) == "aborted"
+        assert trail.total_records == 0, (
+            "no commit claim was made for audit that never arrived"
+        )
+
+    def test_force_boxcar_empty_is_cheap_and_ok(self):
+        rig = make_rig(boxcar=PATIENT)
+
+        def body(proc):
+            tmf, client, transid = yield from create_and_begin(rig, proc)
+            reply = yield from rig.cluster.fs("alpha").send(
+                proc, "$data", ForceBoxcar(transid)
+            )
+            return reply
+
+        reply = rig.run("alpha", body)
+        assert reply["ok"] and reply["flushed"] == 0

@@ -21,14 +21,16 @@ from pathlib import Path
 
 from repro.bench import determinism_digests
 
-# Captured from the pre-FASTPATH tree (commit 0f19df5) with
-# `python -m repro.bench --digest`; the optimized simulator must
-# reproduce the same simulated history bit for bit.
+# Captured with `python -m repro.bench --digest`.  Re-recorded once for
+# BOXCAR: asynchronous batched audit forwarding + multi-part checkpoints
+# intentionally change simulated history (fewer AppendAudit round-trips,
+# a ForceBoxcar drain in phase one), so the pre-BOXCAR digests no longer
+# apply.  Any *further* digest change must again be justified.
 GOLDEN = {
     "xray_sha256":
-        "b3a758440e95f78f933a3c804a3aeaf41a70ecc77513bd9715cbe592cd0e637f",
+        "0db2ba9b6426691c5f2fc30aacc4be9e5ddde08304c763b93fb4ef17f371079e",
     "timeline_sha256":
-        "9add31ea7752807c94d357c5307561991ed7f052cc2cc2228295aa71817bc779",
+        "fa1c54f90fe89023622c45e59106d89243f9715ff48078c3492832668f7146e6",
 }
 
 

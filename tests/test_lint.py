@@ -343,6 +343,70 @@ class TestProbeCoverageRule:
         })
         assert not lint(tmp_path, select=["probe-coverage"]).findings
 
+    def test_unprobed_boxcar_coroutine(self, tmp_path):
+        # BOXCAR scope: a discprocess flush coroutine with no probe on
+        # any call path is invisible — and nothing waits on it to notice.
+        write_tree(tmp_path, {
+            "repro/discprocess/flush.py": """\
+                class Volume:
+                    def _boxcar_timer(self, proc):
+                        yield self.env.timeout(5.0)
+                        yield from self.push_cargo(proc)
+
+                    def push_cargo(self, proc):
+                        yield from self.filesystem.send(proc, "$aud", {})
+                """,
+        })
+        result = lint(tmp_path, select=["probe-coverage"])
+        assert len(result.findings) == 1
+        assert "Volume._boxcar_timer()" in result.findings[0].message
+
+    def test_audit_ship_requires_probe(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/discprocess/ship.py": """\
+                class Volume:
+                    def _forward(self, proc):
+                        op = AppendAudit(volume=self.name, records=())
+                        yield from self.filesystem.send(proc, "$aud", op)
+                """,
+        })
+        result = lint(tmp_path, select=["probe-coverage"])
+        assert len(result.findings) == 1
+        assert "Volume._forward()" in result.findings[0].message
+
+    def test_boxcar_coroutine_covered_via_ship_delegate(self, tmp_path):
+        # The probe lives on the AppendAudit sender; the coroutines that
+        # merely decide *when* to flush inherit coverage through it.
+        write_tree(tmp_path, {
+            "repro/discprocess/flush.py": """\
+                class Volume:
+                    def _boxcar_timer(self, proc):
+                        yield self.env.timeout(5.0)
+                        yield from self._forward_cargo(proc)
+
+                    def _forward_cargo(self, proc):
+                        op = AppendAudit(volume=self.name, records=())
+                        metrics = self.env.metrics
+                        if metrics is not None and metrics.enabled:
+                            metrics.inc("boxcar.flushes")
+                        yield from self.filesystem.send(proc, "$aud", op)
+                """,
+        })
+        assert not lint(tmp_path, select=["probe-coverage"]).findings
+
+    def test_boxcar_policy_helpers_out_of_scope(self, tmp_path):
+        # Plain functions (no yield) that just mention boxcar — policy
+        # resolution, validation — are not send paths.
+        write_tree(tmp_path, {
+            "repro/discprocess/policy.py": """\
+                def resolve_boxcar(boxcar):
+                    if boxcar is False or boxcar is None:
+                        return None
+                    return boxcar
+                """,
+        })
+        assert not lint(tmp_path, select=["probe-coverage"]).findings
+
 
 # ----------------------------------------------------------------------
 # exception-hygiene

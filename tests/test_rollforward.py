@@ -231,9 +231,12 @@ class TestEndingNegotiation:
             yield from client.insert(
                 proc, "alpha_accts", {"aid": 1, "balance": 1}, transid=transid
             )
-            # Force the audit to the trail (as phase one would), but
-            # crash before the commit record is written.
+            # Force the audit to the trail (as phase one would: drain
+            # the volume's boxcar, then force the trail), but crash
+            # before the commit record is written.
             from repro.core import ForceAudit
+            from repro.discprocess import ForceBoxcar
+            yield from rig.cluster.fs("alpha").send(proc, "$data", ForceBoxcar(transid))
             yield from rig.cluster.fs("alpha").send(proc, "$aud", ForceAudit(transid))
 
         rig.run("alpha", phase_one)
